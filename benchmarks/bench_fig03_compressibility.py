@@ -1,0 +1,34 @@
+"""Fig. 3: free-size BPC compression ratios, ten dumps per benchmark."""
+
+from repro.analysis import paper_reference as paper
+from repro.analysis.compression_study import fig3_compression_ratios, suite_gmean
+
+
+def test_fig3_compression_ratios(benchmark, static_config):
+    rows = benchmark.pedantic(
+        fig3_compression_ratios,
+        kwargs={"config": static_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for row in rows:
+        trend = " -> ".join(f"{r:.1f}" for r in row.per_snapshot[::3])
+        print(f"{row.benchmark:14s} mean {row.mean_ratio:5.2f}  ({trend})")
+    hpc = suite_gmean(rows, True)
+    dl = suite_gmean(rows, False)
+    print(f"GMEAN HPC {hpc:.2f} (paper {paper.FIG3_GMEAN_HPC})")
+    print(f"GMEAN DL  {dl:.2f} (paper {paper.FIG3_GMEAN_DL})")
+
+    # qualitative contracts
+    assert 2.1 <= hpc <= 2.9  # paper: 2.51
+    assert 1.5 <= dl <= 2.1  # paper: 1.85
+    assert hpc > dl
+    by_name = {row.benchmark: row for row in rows}
+    # 355.seismic starts near-zero and asymptotes toward ~2x
+    seismic = by_name["355.seismic"].per_snapshot
+    assert seismic[0] > 2 * seismic[-1] and seismic[-1] > 1.5
+    # 352.ep is the most compressible; 354.cg and 370.bt barely compress
+    assert by_name["352.ep"].mean_ratio == max(r.mean_ratio for r in rows)
+    assert by_name["354.cg"].mean_ratio < 1.3
+    assert by_name["370.bt"].mean_ratio < 1.6

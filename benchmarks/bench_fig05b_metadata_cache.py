@@ -1,0 +1,45 @@
+"""Fig. 5b: metadata cache hit rate vs total cache size."""
+
+from repro.analysis.metadata_study import (
+    format_metadata_table,
+    run_metadata_study,
+)
+from repro.units import KIB
+from repro.workloads.snapshots import SnapshotConfig
+from repro.workloads.traces import TraceConfig
+
+BENCHMARKS = (
+    "351.palm", "355.seismic", "356.sp", "354.cg", "VGG16", "ResNet50",
+    "FF_Lulesh",
+)
+TRACE = TraceConfig(
+    memory_instructions_per_warp=48,
+    snapshot_config=SnapshotConfig(scale=1.0 / 2048),
+)
+
+
+def test_fig5b_metadata_cache_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_metadata_study,
+        kwargs={"benchmarks": BENCHMARKS, "trace_config": TRACE},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_metadata_table(rows))
+
+    by_name = {row.benchmark: row for row in rows}
+    for row in rows:
+        sizes = sorted(row.hit_rates)
+        rates = [row.hit_rates[s] for s in sizes]
+        # hit rate is non-decreasing in capacity (paper's x-axis sweep)
+        assert all(b >= a - 0.02 for a, b in zip(rates, rates[1:]))
+    # the paper's low-hit-rate outliers: 351.palm and 355.seismic sit
+    # below the streaming workloads at the operating point
+    mid = 4 * KIB
+    for victim in ("351.palm", "355.seismic"):
+        assert by_name[victim].hit_rates[mid] < by_name["VGG16"].hit_rates[mid]
+        assert by_name[victim].hit_rates[mid] < by_name["FF_Lulesh"].hit_rates[mid]
+    # everything converges toward high hit rates with enough capacity
+    top = 64 * KIB
+    assert all(row.hit_rates[top] > 0.85 for row in rows)

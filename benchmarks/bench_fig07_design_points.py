@@ -1,0 +1,47 @@
+"""Fig. 7: naive vs per-allocation vs zero-page design points."""
+
+from repro.analysis import paper_reference as paper
+from repro.analysis.compression_study import fig7_design_points
+
+
+def test_fig7_design_points(benchmark, static_config):
+    study = benchmark.pedantic(
+        fig7_design_points,
+        kwargs={"config": static_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    summary = {}
+    for design in ("naive", "per-allocation", "final"):
+        for label, hpc in (("HPC", True), ("DL", False)):
+            ratio, accesses = study.suite_summary(design, hpc)
+            summary[(design, label)] = (ratio, accesses)
+            print(f"{design:16s} {label:4s} ratio {ratio:4.2f}x  accesses {accesses:6.2%}")
+    print(f"paper: naive HPC {paper.FIG7_NAIVE_HPC}, naive DL {paper.FIG7_NAIVE_DL}, "
+          f"final HPC {paper.FIG7_FINAL_HPC}, final DL {paper.FIG7_FINAL_DL}")
+
+    # headline bands
+    assert 1.75 <= summary[("final", "HPC")][0] <= 2.15  # paper 1.9
+    assert 1.40 <= summary[("final", "DL")][0] <= 1.70  # paper 1.5
+    assert summary[("final", "DL")][1] < 0.08  # paper 4%
+    assert summary[("final", "HPC")][1] < 0.02  # paper 0.08%
+
+    # orderings: each refinement raises compression and (vs naive)
+    # lowers buddy traffic
+    for label in ("HPC", "DL"):
+        naive = summary[("naive", label)]
+        per_alloc = summary[("per-allocation", label)]
+        final = summary[("final", label)]
+        assert naive[0] < per_alloc[0] <= final[0]
+        assert naive[1] > final[1]
+
+    # the per-benchmark stories the paper highlights
+    results = study.results
+    cg = results["354.cg"]
+    assert cg["naive"].compression_ratio == 1.0  # incompressible program-wide
+    assert cg["final"].compression_ratio > 1.05  # 1.1x via per-allocation
+    bt = results["370.bt"]
+    assert bt["final"].compression_ratio > 1.2  # paper: 1.3x
+    ep = results["352.ep"]
+    assert ep["final"].compression_ratio > ep["per-allocation"].compression_ratio

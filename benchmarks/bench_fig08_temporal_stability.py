@@ -1,0 +1,31 @@
+"""Fig. 8: buddy traffic across a DL training iteration stays stable."""
+
+from repro.analysis import paper_reference as paper
+from repro.analysis.compression_study import fig8_temporal_stability
+
+
+def test_fig8_temporal_stability(benchmark, static_config):
+    results = benchmark.pedantic(
+        fig8_temporal_stability,
+        kwargs={"config": static_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, result in results.items():
+        series = " ".join(
+            f"{s.entry_fraction:.3f}" for s in result.per_snapshot
+        )
+        print(f"{name:10s} ratio {result.compression_ratio:4.2f}x  accesses/dump: {series}")
+    print(f"paper ratios: SqueezeNet {paper.FIG8_SQUEEZENET_RATIO}, "
+          f"ResNet50 {paper.FIG8_RESNET50_RATIO}")
+
+    squeeze = results["SqueezeNet"]
+    resnet = results["ResNet50"]
+    # the paper's reported constant ratios
+    assert abs(squeeze.compression_ratio - paper.FIG8_SQUEEZENET_RATIO) < 0.12
+    assert abs(resnet.compression_ratio - paper.FIG8_RESNET50_RATIO) < 0.12
+    # churn does not move aggregate buddy traffic much over the run
+    for result in results.values():
+        fractions = [s.entry_fraction for s in result.per_snapshot]
+        assert max(fractions) - min(fractions) < 0.04

@@ -1,0 +1,52 @@
+"""Fig. 9: sensitivity to the Buddy Threshold parameter."""
+
+import numpy as np
+
+from repro.analysis.compression_study import (
+    best_achievable_ratio,
+    fig9_threshold_sweep,
+)
+
+BENCHMARKS = (
+    "351.palm", "354.cg", "356.sp", "FF_HPGMG", "AlexNet", "ResNet50",
+    "VGG16",
+)
+THRESHOLDS = (0.10, 0.20, 0.30, 0.40)
+
+
+def test_fig9_threshold_sweep(benchmark, static_config):
+    sweep = benchmark.pedantic(
+        fig9_threshold_sweep,
+        kwargs={"benchmarks": BENCHMARKS, "thresholds": THRESHOLDS,
+                "config": static_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, runs in sweep.items():
+        best = best_achievable_ratio(name, static_config)
+        cells = "  ".join(
+            f"{t:.0%}:{runs[t].compression_ratio:4.2f}/{runs[t].buddy_access_fraction:5.2%}"
+            for t in THRESHOLDS
+        )
+        print(f"{name:10s} {cells}  best {best:4.2f}")
+
+    for name, runs in sweep.items():
+        ratios = [runs[t].compression_ratio for t in THRESHOLDS]
+        accesses = [runs[t].buddy_access_fraction for t in THRESHOLDS]
+        # a looser threshold never lowers compression, and buddy
+        # accesses grow with it
+        assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+        assert all(b >= a - 0.005 for a, b in zip(accesses, accesses[1:]))
+        # the threshold bounds realised traffic on the profiled data
+        for threshold in THRESHOLDS:
+            assert accesses[THRESHOLDS.index(threshold)] <= threshold + 0.1
+
+    # HPC accesses stay very low; DL sees the threshold trade-off
+    assert sweep["356.sp"][0.30].buddy_access_fraction < 0.02
+    assert sweep["AlexNet"][0.30].buddy_access_fraction > 0.02
+
+    # FF_HPGMG's striped structs leave it far from its best-achievable
+    # compression at any swept threshold (the paper: needs >80%)
+    hpgmg_best = best_achievable_ratio("FF_HPGMG", static_config)
+    assert sweep["FF_HPGMG"][0.40].compression_ratio < 0.85 * hpgmg_best

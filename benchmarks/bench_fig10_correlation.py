@@ -1,0 +1,31 @@
+"""Fig. 10: fast-simulator correlation and speed vs the reference."""
+
+from repro.analysis import paper_reference as paper
+from repro.analysis.correlation_study import run_correlation_study
+
+
+def test_fig10_correlation(benchmark):
+    result = benchmark.pedantic(run_correlation_study, rounds=1, iterations=1)
+    print()
+    for point in result.points:
+        print(
+            f"{point.benchmark:10s} instr {point.instructions:7d} "
+            f"fast {point.fast_cycles:9.0f}cyc/{point.fast_seconds*1e3:7.1f}ms "
+            f"ref {point.reference_cycles:9.0f}cyc/{point.reference_seconds*1e3:8.1f}ms"
+        )
+    print(f"correlation {result.correlation:.3f} (paper {paper.FIG10_CORRELATION})")
+    print(f"speed ratio {result.mean_speed_ratio:.0f}x (paper ~100x)")
+
+    # Fig. 10 left: the fast simulator tracks the reference machine
+    assert result.correlation > 0.9
+    # Fig. 10 right: and is far faster (we accept >5x at these tiny
+    # trace sizes; the gap widens with trace length)
+    assert result.mean_speed_ratio > 3.0
+    # longer traces take more cycles on both machines
+    by_bench = {}
+    for point in result.points:
+        by_bench.setdefault(point.benchmark, []).append(point)
+    for points in by_bench.values():
+        points.sort(key=lambda p: p.instructions)
+        assert points[-1].fast_cycles > points[0].fast_cycles
+        assert points[-1].reference_cycles > points[0].reference_cycles

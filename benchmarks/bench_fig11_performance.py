@@ -1,0 +1,53 @@
+"""Fig. 11: performance relative to an ideal large-memory GPU.
+
+Sweeps bandwidth-only compression and Buddy Compression across
+interconnect bandwidths of 50/100/150/200 GB/s on all 16 benchmarks.
+"""
+
+from repro.analysis import paper_reference as paper
+from repro.analysis.perf_study import format_perf_table, run_perf_study
+from repro.workloads.snapshots import SnapshotConfig
+from repro.workloads.traces import TraceConfig
+
+#: Shorter traces than the analysis default keep the bench quick while
+#: preserving the steady-state balance.
+TRACE = TraceConfig(memory_instructions_per_warp=64)
+
+
+def test_fig11_performance(benchmark):
+    result = benchmark.pedantic(
+        run_perf_study,
+        kwargs={"trace_config": TRACE},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_perf_table(result))
+    bw = result.overall_gmean("bandwidth")
+    buddy150 = result.overall_gmean("buddy", 150.0)
+    print(f"bandwidth-only gmean {bw:.3f} (paper {paper.FIG11_BANDWIDTH_ONLY_MEAN})")
+    print(f"buddy@150 gmean {buddy150:.3f} (paper ~0.98)")
+
+    rows = {r.benchmark: r for r in result.per_benchmark}
+
+    # bandwidth-only compression: modest overall gain, led by DL
+    assert 1.0 < bw < 1.12
+    assert result.suite_gmean(False, "bandwidth") > result.suite_gmean(True, "bandwidth")
+    # the paper's bandwidth-compression losers slow down (FF_Lulesh's
+    # decompression-latency penalty leaves it at best break-even)
+    assert rows["354.cg"].bandwidth_only < 1.0
+    assert rows["360.ilbdc"].bandwidth_only < 1.0
+    assert rows["FF_Lulesh"].bandwidth_only < 1.02
+
+    # Buddy costs on top of bandwidth compression
+    for name in ("AlexNet", "VGG16", "351.palm", "355.seismic"):
+        assert rows[name].buddy[150.0] < rows[name].bandwidth_only
+    # metadata-cache victims (the paper: 351.palm, 355.seismic)
+    assert rows["351.palm"].metadata_hit_rate < 0.93
+    assert rows["355.seismic"].metadata_hit_rate < 0.93
+    # AlexNet: the highest DL buddy traffic and worse at 50 GB/s
+    assert rows["AlexNet"].buddy_access_fraction > 0.05
+    assert rows["AlexNet"].buddy[50.0] <= rows["AlexNet"].buddy[150.0]
+    # overall: buddy within a few percent of ideal at NVLink2 speeds
+    assert 0.95 < buddy150 < 1.08
+    assert 0.95 < result.suite_gmean(True, "buddy", 150.0) < 1.05

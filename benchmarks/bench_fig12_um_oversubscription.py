@@ -1,0 +1,41 @@
+"""Fig. 12 + Sec. 4.3: UM oversubscription vs pinned vs Buddy."""
+
+from repro.analysis import paper_reference as paper
+from repro.analysis.um_study import (
+    buddy_vs_um,
+    fig12_curves,
+    format_fig12_table,
+)
+
+
+def test_fig12_um_oversubscription(benchmark):
+    rows = benchmark.pedantic(fig12_curves, rounds=1, iterations=1)
+    print()
+    print(format_fig12_table(rows))
+
+    by_key = {(r.benchmark, round(r.oversubscription, 2)): r for r in rows}
+
+    # slowdown grows with oversubscription for every benchmark
+    for name in ("360.ilbdc", "356.sp", "351.palm"):
+        series = [by_key[(name, o)].um_slowdown for o in (0.0, 0.1, 0.2, 0.3, 0.4)]
+        assert series[0] == 1.0
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    # 360.ilbdc collapses past its pinned alternative (the paper's
+    # headline: UM heuristics often lose to plain pinning)
+    ilbdc_40 = by_key[("360.ilbdc", 0.4)]
+    assert ilbdc_40.um_slowdown > 15
+    assert ilbdc_40.um_slowdown > ilbdc_40.pinned_slowdown
+    # strided codes degrade far less
+    assert by_key[("351.palm", 0.4)].um_slowdown < 6
+    assert by_key[("356.sp", 0.4)].um_slowdown < 8
+
+    # Sec. 4.3: Buddy at a conservative 50 GB/s stays under 1.67x even
+    # at 50 % oversubscription, far below UM's collapse
+    buddy_perf = {"360.ilbdc": 0.94, "356.sp": 1.02, "351.palm": 1.06}
+    comparison = buddy_vs_um(buddy_perf)
+    for row in comparison:
+        print(f"{row.benchmark:12s} UM@49% {row.um_slowdown:6.1f}x  "
+              f"buddy@50GBps {row.buddy_slowdown:4.2f}x")
+        assert row.buddy_slowdown < paper.BUDDY_MAX_SLOWDOWN_AT_50PCT_OVERSUB
+        assert row.buddy_slowdown < row.um_slowdown

@@ -1,0 +1,55 @@
+"""Fig. 13: the DL-training case study (all four panels)."""
+
+import numpy as np
+
+from repro.analysis import paper_reference as paper
+from repro.analysis.dl_study import format_dl_tables, run_dl_study
+from repro.dlmodel.memory import TITAN_XP_BYTES, footprint_bytes, transition_batch
+
+
+def test_fig13_dl_case_study(benchmark, static_config):
+    result = benchmark.pedantic(
+        run_dl_study, rounds=1, iterations=1,
+    )
+    print()
+    print(format_dl_tables(result))
+
+    # 13a: footprints grow monotonically; AlexNet transitions late
+    for name, row in result.footprints.items():
+        values = [row[b] for b in sorted(row)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+    assert 64 <= transition_batch("AlexNet") <= 160  # paper: 96
+    for name in ("VGG16", "ResNet50", "Inception_V2", "SqueezeNet"):
+        assert transition_batch(name) <= paper.FIG13_OTHER_TRANSITION_MAX
+    # VGG16 and BigLSTM cannot fit a 64 mini-batch in 12 GB
+    assert footprint_bytes("VGG16", 64) > TITAN_XP_BYTES
+    assert footprint_bytes("BigLSTM", 64) > TITAN_XP_BYTES
+
+    # 13b: throughput rises with batch then plateaus
+    for name, speedups in result.throughput_speedups.items():
+        ordered = [speedups[b] for b in sorted(speedups)]
+        assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))
+        early_gain = ordered[1] / ordered[0]
+        late_gain = ordered[-1] / ordered[-2]
+        assert late_gain < early_gain  # saturation
+
+    # 13c: mean speedup ~14%, led by the capacity-constrained networks
+    mean = result.mean_case_speedup
+    assert 1.05 < mean < 1.30  # paper: 1.14
+    by_name = {row.network: row for row in result.case_study}
+    leaders = sorted(result.case_study, key=lambda r: -r.speedup)[:2]
+    assert {row.network for row in leaders} == {"VGG16", "BigLSTM"}
+    assert by_name["VGG16"].buddy_batch > by_name["VGG16"].baseline_batch
+
+    # 13d: batches 16/32 undershoot the peak accuracy; 64+ reach it,
+    # with larger batches converging faster
+    final = {batch: float(curve[-1]) for batch, curve in result.accuracy.items()}
+    assert final[16] < final[64] - 0.02
+    assert final[32] < final[128] - 0.01
+    assert abs(final[128] - final[256]) < 0.02
+    at_epoch_40 = {b: float(c[39]) for b, c in result.accuracy.items()}
+    assert at_epoch_40[256] > at_epoch_40[64]
+    # small batches have larger accuracy jitter (batch-norm noise)
+    jitter16 = float(np.std(np.diff(result.accuracy[16][60:])))
+    jitter256 = float(np.std(np.diff(result.accuracy[256][60:])))
+    assert jitter16 > jitter256

@@ -1,0 +1,24 @@
+"""Table 1: the benchmark catalog and its scaled snapshot footprints."""
+
+from repro.units import GB, MB, bytes_to_human
+from repro.workloads import ALL_BENCHMARKS, generate_snapshot
+
+
+def test_table1_catalog(benchmark, static_config):
+    def build():
+        return [
+            (b.name, b.suite.value, b.footprint_bytes,
+             generate_snapshot(b.name, 0, static_config).footprint_bytes)
+            for b in ALL_BENCHMARKS
+        ]
+
+    rows = benchmark(build)
+    print()
+    print(f"{'benchmark':14s} {'suite':12s} {'Table 1':>10s} {'scaled':>10s}")
+    for name, suite, native, scaled in rows:
+        print(f"{name:14s} {suite:12s} {bytes_to_human(native):>10s} {bytes_to_human(scaled):>10s}")
+
+    assert len(rows) == 16
+    natives = {name: native for name, _, native, _ in rows}
+    assert natives["VGG16"] == int(11.08 * GB)  # largest footprint
+    assert natives["370.bt"] == int(1.21 * MB)  # smallest footprint

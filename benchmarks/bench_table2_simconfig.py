@@ -1,0 +1,31 @@
+"""Table 2: simulator configuration fidelity."""
+
+from repro.gpusim.config import GPUConfig, scaled_config
+from repro.units import KIB, MIB
+
+
+def test_table2_parameters(benchmark):
+    config = benchmark(GPUConfig)
+    print()
+    print(f"cores: {config.sm_count} SMs @ {config.clock_hz/1e9:.1f} GHz, "
+          f"{config.schedulers_per_sm} GTO schedulers/SM, "
+          f"{config.warps_per_sm} warps/SM")
+    print(f"caches: L1 {config.l1_bytes//KIB} KB, L2 {config.l2_bytes//MIB} MB, "
+          f"{config.line_bytes} B lines")
+    print(f"off-chip: {config.dram_channels} HBM2 channels @ "
+          f"{config.dram_bandwidth_gbps:.0f} GB/s; link {config.link.bandwidth_gbps:.0f} GB/s")
+    print(f"decompression: {config.decompression_dram_cycles} DRAM cycles "
+          f"= {config.decompression_latency} core cycles")
+
+    # Table 2's values
+    assert config.sm_count == 56 and config.warps_per_sm == 64
+    assert config.schedulers_per_sm == 2
+    assert config.l2_bytes == 4 * MIB and config.line_bytes == 128
+    assert config.dram_channels == 32
+    assert config.dram_bandwidth_gbps == 900.0
+    assert config.link.bandwidth_gbps == 150.0
+    assert config.decompression_dram_cycles == 11
+
+    # the scaled machine preserves the device:link bandwidth ratio
+    scaled = scaled_config()
+    assert scaled.dram_bandwidth_gbps / scaled.link.bandwidth_gbps == 6.0

@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper artefact (table or figure), prints
+the paper-vs-measured comparison, and asserts the qualitative
+contracts DESIGN.md lists.  Scales are reduced relative to the
+analysis defaults so the full harness completes in minutes.
+"""
+
+import pytest
+
+from repro.workloads.snapshots import SnapshotConfig
+
+#: Snapshot scaling for the static (compression) benches.
+STATIC_SCALE = SnapshotConfig(scale=1.0 / 65536)
+
+
+@pytest.fixture(scope="session")
+def static_config() -> SnapshotConfig:
+    return STATIC_SCALE

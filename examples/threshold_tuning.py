@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Tune the Buddy Threshold for your workload (paper Fig. 9).
+
+The Buddy Threshold caps the fraction of memory-entries per
+allocation that may overflow to buddy-memory. A loose threshold buys
+compression ratio at the cost of interconnect traffic; the paper
+settles on 30 %. This example sweeps the threshold for one HPC and
+one DL workload and prints the trade-off, including the best
+achievable (unconstrained) compression for reference.
+"""
+
+from repro.analysis.compression_study import (
+    best_achievable_ratio,
+    fig9_threshold_sweep,
+)
+from repro.workloads.snapshots import SnapshotConfig
+
+THRESHOLDS = (0.05, 0.10, 0.20, 0.30, 0.40, 0.60)
+
+
+def main() -> None:
+    config = SnapshotConfig(scale=1.0 / 65536)
+    sweep = fig9_threshold_sweep(
+        benchmarks=("FF_HPGMG", "AlexNet"),
+        thresholds=THRESHOLDS,
+        config=config,
+    )
+    for name, runs in sweep.items():
+        best = best_achievable_ratio(name, config)
+        print(f"\n== {name} (best achievable {best:.2f}x) ==")
+        print(f"{'threshold':>10s} {'ratio':>7s} {'buddy accesses':>15s}")
+        for threshold in THRESHOLDS:
+            result = runs[threshold]
+            print(
+                f"{threshold:10.0%} {result.compression_ratio:6.2f}x "
+                f"{result.buddy_access_fraction:15.2%}"
+            )
+    print(
+        "\nFF_HPGMG's striped structs need a threshold far above 40% to"
+        "\napproach the best-achievable ratio (the paper: >80%), while"
+        "\nAlexNet trades traffic for ratio smoothly — which is why the"
+        "\npaper fixes the threshold at 30%."
+    )
+
+
+if __name__ == "__main__":
+    main()

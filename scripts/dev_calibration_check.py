@@ -1,0 +1,91 @@
+"""Development helper: analytic evaluation of calibration specs.
+
+Computes, per benchmark, the Fig.-3 free-size ratio and the buddy
+design points (naive / per-allocation / zero-page) straight from the
+class-mix algebra, using the nominal class sizes.  Used while tuning
+``repro/workloads/calibration.py``; the real studies measure the same
+quantities from generated data.
+"""
+
+import numpy as np
+
+from repro.workloads.calibration import all_specs
+from repro.workloads.catalog import get_benchmark
+
+FREE = np.array([0, 8, 32, 64, 96, 128], dtype=float)  # Z C S1 S2 S3 S4
+SECTORS = np.array([1, 1, 1, 2, 3, 4], dtype=float)
+ZERO_OK = np.array([1, 1, 0, 0, 0, 0], dtype=float)  # fits 8 B slot
+RATIOS = [(0, 8.0), (1, 32.0), (2, 64.0), (3, 96.0), (4, 128.0)]  # device sectors: 0 => 16x
+THRESHOLD = 0.30
+ZERO_TOL = 0.03
+
+
+def avg_mix(alloc):
+    mixes = [alloc.mix_at(t / 9) for t in range(10)]
+    return np.mean([m.as_array() for m in mixes], axis=0)
+
+
+def choose_target(mix, threshold=THRESHOLD, allow_zero_page=True):
+    """Device sectors chosen for an allocation mix (0 == 16x class)."""
+    overflow_zero = 1.0 - (mix * ZERO_OK).sum()
+    if allow_zero_page and overflow_zero <= ZERO_TOL:
+        return 0
+    for sectors in (1, 2, 3):
+        overflow = mix[SECTORS > sectors].sum()
+        if overflow <= threshold:
+            return sectors
+    return 4
+
+
+def report():
+    rows = []
+    for spec in all_specs():
+        bench = get_benchmark(spec.benchmark)
+        fracs = np.array([a.fraction for a in spec.allocations])
+        mixes = np.stack([avg_mix(a) for a in spec.allocations])
+        e_free = (mixes @ FREE)
+        fig3 = 128.0 / float(fracs @ e_free)
+
+        device = np.zeros(len(spec.allocations))
+        access = np.zeros(len(spec.allocations))
+        for i, mix in enumerate(mixes):
+            s = choose_target(mix)
+            device[i] = (8 / 128) if s == 0 else s / 4
+            limit = 0 if s == 0 else s
+            if s == 0:
+                access[i] = 1.0 - (mix * ZERO_OK).sum()
+            else:
+                access[i] = mix[SECTORS > s].sum()
+        ratio = 1.0 / float(fracs @ device)
+        acc = float(fracs @ access)
+
+        # naive: single conservative program-wide target (no zero page):
+        # largest allowed ratio not exceeding the average compressibility,
+        # subject to an overflow cap.
+        program_mix = fracs @ mixes
+        avg_sectors = float(program_mix @ SECTORS)
+        s = 4
+        for cand in (1, 2, 3):
+            overflow = program_mix[SECTORS > cand].sum()
+            if cand >= avg_sectors and overflow <= 0.45:
+                s = cand
+                break
+        naive_ratio = 4.0 / s
+        naive_acc = float(program_mix[SECTORS > s].sum()) if s < 4 else 0.0
+        rows.append((spec.benchmark, bench.is_hpc, fig3, naive_ratio, naive_acc, ratio, acc))
+
+    print(f"{'benchmark':14s} {'fig3':>5s} {'nv_r':>5s} {'nv_a%':>6s} {'fin_r':>6s} {'fin_a%':>6s}")
+    for name, _, fig3, nr, na, r, a in rows:
+        print(f"{name:14s} {fig3:5.2f} {nr:5.2f} {100*na:6.1f} {r:6.2f} {100*a:6.2f}")
+    for label, hpc in (("HPC", True), ("DL", False)):
+        sel = [row for row in rows if row[1] == hpc]
+        g = lambda idx: float(np.exp(np.mean([np.log(max(row[idx], 1e-9)) for row in sel])))
+        m = lambda idx: float(np.mean([row[idx] for row in sel]))
+        print(
+            f"GMEAN {label}: fig3 {g(2):.2f} naive {g(3):.2f}/{100*m(4):.1f}% "
+            f"final {g(5):.2f}/{100*m(6):.2f}%"
+        )
+
+
+if __name__ == "__main__":
+    report()

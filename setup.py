@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline evaluation environment lacks the ``wheel`` package that
+modern ``pip install -e .`` requires, so this shim keeps the legacy
+``python setup.py develop`` path available.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

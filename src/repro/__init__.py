@@ -1,0 +1,35 @@
+"""Buddy Compression reproduction.
+
+A production-quality Python reproduction of *Buddy Compression:
+Enabling Larger Memory for Deep Learning and HPC Workloads on GPUs*
+(Choukse et al., ISCA 2020), including the compression substrate
+(BPC and comparison codecs), synthetic workload substrate, the Buddy
+Compression engine, a GPU performance simulator, a Unified-Memory
+oversubscription model, and the DL-training case-study analytics.
+
+Quickstart::
+
+    from repro import BuddyCompressor, BuddyConfig
+    from repro.core.targets import FINAL
+
+    engine = BuddyCompressor(BuddyConfig())
+    result = engine.run("VGG16", FINAL)
+    print(result.compression_ratio, result.buddy_access_fraction)
+"""
+
+from repro.compression import BPCCompressor
+from repro.core import BuddyCompressor, BuddyConfig, TargetRatio
+from repro.units import MEMORY_ENTRY_BYTES, SECTOR_BYTES, SECTORS_PER_ENTRY
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BPCCompressor",
+    "BuddyCompressor",
+    "BuddyConfig",
+    "TargetRatio",
+    "MEMORY_ENTRY_BYTES",
+    "SECTOR_BYTES",
+    "SECTORS_PER_ENTRY",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Experiment drivers.
+
+One module per paper artefact; each produces plain dataclass results
+that the benchmarks print and EXPERIMENTS.md tabulates against the
+paper's reported numbers (:mod:`repro.analysis.paper_reference`).
+"""

@@ -1,0 +1,171 @@
+"""Compressibility studies: Figs. 3, 6, 7, 8 and 9."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression import BPCCompressor, free_sizes_for_sizes, sectors_for_sizes
+from repro.compression.zeroblock import zero_mask
+from repro.core.controller import BuddyCompressor, BuddyConfig, EvaluationResult
+from repro.core.targets import FINAL, NAIVE, PER_ALLOCATION, DesignPoint
+from repro.units import ENTRIES_PER_PAGE, MEMORY_ENTRY_BYTES
+from repro.workloads.catalog import ALL_BENCHMARKS, get_benchmark
+from repro.workloads.snapshots import SnapshotConfig, generate_run, generate_snapshot
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — free-size compression ratio per benchmark over its run.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig3Row:
+    benchmark: str
+    is_hpc: bool
+    per_snapshot: list[float]
+
+    @property
+    def mean_ratio(self) -> float:
+        return float(np.mean(self.per_snapshot))
+
+
+def fig3_compression_ratios(
+    benchmarks=None, config: SnapshotConfig | None = None
+) -> list[Fig3Row]:
+    """Fig. 3: optimistic (free-size) BPC ratios, ten dumps per run."""
+    config = config or SnapshotConfig()
+    bpc = BPCCompressor()
+    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
+    rows = []
+    for name in names:
+        ratios = []
+        for snapshot in generate_run(name, config):
+            data = snapshot.stacked_data()
+            sizes = bpc.compressed_sizes(data)
+            free = free_sizes_for_sizes(sizes, zero_mask(data))
+            ratios.append(
+                data.shape[0] * MEMORY_ENTRY_BYTES / max(int(free.sum()), 1)
+            )
+        rows.append(Fig3Row(name, get_benchmark(name).is_hpc, ratios))
+    return rows
+
+
+def suite_gmean(rows: list[Fig3Row], hpc: bool) -> float:
+    values = [row.mean_ratio for row in rows if row.is_hpc == hpc]
+    return float(np.exp(np.mean(np.log(values)))) if values else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — spatial compressibility heatmap.
+# ---------------------------------------------------------------------------
+def fig6_heatmap(
+    benchmark: str,
+    snapshot_index: int = 5,
+    config: SnapshotConfig | None = None,
+) -> np.ndarray:
+    """Sectors-per-entry heatmap: one row per 8 KB page (Fig. 6)."""
+    config = config or SnapshotConfig()
+    snapshot = generate_snapshot(benchmark, snapshot_index, config)
+    sizes = BPCCompressor().compressed_sizes(snapshot.stacked_data())
+    sectors = sectors_for_sizes(sizes)
+    pages = sectors.size // ENTRIES_PER_PAGE
+    return sectors[: pages * ENTRIES_PER_PAGE].reshape(pages, ENTRIES_PER_PAGE)
+
+
+def render_heatmap(heatmap: np.ndarray, max_rows: int = 24) -> str:
+    """ASCII rendering of a Fig. 6 heatmap (rows of page compressibility)."""
+    glyphs = {1: ".", 2: "-", 3: "+", 4: "#"}
+    step = max(1, heatmap.shape[0] // max_rows)
+    lines = []
+    for row in heatmap[::step][:max_rows]:
+        lines.append("".join(glyphs[int(v)] for v in row))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figs. 7 / 8 / 9 — design points, temporal stability, threshold sweep.
+# ---------------------------------------------------------------------------
+@dataclass
+class DesignPointStudy:
+    """Fig. 7 dataset: one EvaluationResult per benchmark x design."""
+
+    results: dict[str, dict[str, EvaluationResult]]
+
+    def suite_summary(self, design: str, hpc: bool) -> tuple[float, float]:
+        """(gmean ratio, mean access fraction) across a suite."""
+        ratios, accesses = [], []
+        for name, runs in self.results.items():
+            if get_benchmark(name).is_hpc != hpc:
+                continue
+            result = runs[design]
+            ratios.append(result.compression_ratio)
+            accesses.append(result.buddy_access_fraction)
+        gmean = float(np.exp(np.mean(np.log(ratios)))) if ratios else 0.0
+        return gmean, float(np.mean(accesses)) if accesses else 0.0
+
+
+def fig7_design_points(
+    benchmarks=None,
+    config: SnapshotConfig | None = None,
+    designs: tuple[DesignPoint, ...] = (NAIVE, PER_ALLOCATION, FINAL),
+) -> DesignPointStudy:
+    """Fig. 7: the three design points on every benchmark."""
+    engine = BuddyCompressor(
+        BuddyConfig(snapshot_config=config or SnapshotConfig())
+    )
+    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
+    results: dict[str, dict[str, EvaluationResult]] = {}
+    for name in names:
+        profile = engine.profile(name)
+        results[name] = {}
+        for design in designs:
+            selection = engine.select(profile, design)
+            results[name][design.name] = engine.evaluate(
+                name, selection, design.name
+            )
+    return DesignPointStudy(results)
+
+
+def fig8_temporal_stability(
+    benchmarks=("ResNet50", "SqueezeNet"),
+    config: SnapshotConfig | None = None,
+) -> dict[str, EvaluationResult]:
+    """Fig. 8: per-snapshot buddy traffic under the final design."""
+    engine = BuddyCompressor(
+        BuddyConfig(snapshot_config=config or SnapshotConfig())
+    )
+    return {name: engine.run(name, FINAL) for name in benchmarks}
+
+
+def fig9_threshold_sweep(
+    benchmarks=None,
+    thresholds=(0.10, 0.20, 0.30, 0.40),
+    config: SnapshotConfig | None = None,
+) -> dict[str, dict[float, EvaluationResult]]:
+    """Fig. 9: per-allocation design across Buddy Thresholds."""
+    engine = BuddyCompressor(
+        BuddyConfig(snapshot_config=config or SnapshotConfig())
+    )
+    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
+    sweep: dict[str, dict[float, EvaluationResult]] = {}
+    for name in names:
+        profile = engine.profile(name)
+        sweep[name] = {}
+        for threshold in thresholds:
+            design = DesignPoint(
+                f"threshold-{threshold:.2f}",
+                per_allocation=True,
+                zero_page=False,
+                threshold=threshold,
+            )
+            selection = engine.select(profile, design)
+            sweep[name][threshold] = engine.evaluate(name, selection, design.name)
+    return sweep
+
+
+def best_achievable_ratio(
+    benchmark: str, config: SnapshotConfig | None = None
+) -> float:
+    """Fig. 9's marker: unconstrained free-size compression ratio."""
+    row = fig3_compression_ratios([benchmark], config)[0]
+    return row.mean_ratio

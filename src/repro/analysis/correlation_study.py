@@ -1,0 +1,98 @@
+"""Fig. 10: simulator correlation and speed.
+
+The paper validates its fast dependency-driven simulator against V100
+silicon (correlation 0.989) and shows it runs two orders of magnitude
+faster than GPGPUSim.  Our silicon proxy is the cycle-stepped
+reference machine: we correlate the two simulators' cycle counts over
+the benchmark suite at several trace lengths (log-log, as in the
+figure) and measure the wall-clock gap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.compression import CompressionState
+from repro.gpusim.config import scaled_config
+from repro.gpusim.reference import CycleSteppedReference
+from repro.gpusim.simulator import DependencyDrivenSimulator
+from repro.workloads.snapshots import SnapshotConfig
+from repro.workloads.traces import TraceConfig, generate_trace
+
+#: A diverse sample across suites and patterns.
+DEFAULT_BENCHMARKS = (
+    "370.bt", "354.cg", "356.sp", "VGG16", "ResNet50", "FF_Lulesh",
+)
+
+
+@dataclass
+class CorrelationPoint:
+    benchmark: str
+    instructions: int
+    fast_cycles: float
+    reference_cycles: float
+    fast_seconds: float
+    reference_seconds: float
+
+
+@dataclass
+class CorrelationResult:
+    points: list[CorrelationPoint]
+
+    @property
+    def correlation(self) -> float:
+        """Pearson correlation of log cycle counts (Fig. 10 left)."""
+        fast = np.log([p.fast_cycles for p in self.points])
+        reference = np.log([p.reference_cycles for p in self.points])
+        return float(np.corrcoef(fast, reference)[0, 1])
+
+    @property
+    def mean_speed_ratio(self) -> float:
+        """Wall-clock advantage of the fast simulator (Fig. 10 right)."""
+        ratios = [
+            p.reference_seconds / max(p.fast_seconds, 1e-9)
+            for p in self.points
+        ]
+        return float(np.mean(ratios))
+
+
+def run_correlation_study(
+    benchmarks=DEFAULT_BENCHMARKS,
+    instruction_scales=(6, 18),
+) -> CorrelationResult:
+    """Run both simulators across benchmarks and trace lengths."""
+    config = scaled_config(sm_count=4, warps_per_sm=6)
+    points = []
+    for name in benchmarks:
+        for memory_instructions in instruction_scales:
+            trace_config = TraceConfig(
+                sm_count=config.sm_count,
+                warps_per_sm=config.warps_per_sm,
+                memory_instructions_per_warp=memory_instructions,
+                snapshot_config=SnapshotConfig(scale=1.0 / 16384),
+            )
+            trace = generate_trace(name, trace_config)
+            state = CompressionState.ideal(trace.footprint_bytes)
+
+            start = time.perf_counter()
+            fast = DependencyDrivenSimulator(config).run(trace, state)
+            fast_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            reference = CycleSteppedReference(config).run(trace, state)
+            reference_seconds = time.perf_counter() - start
+
+            points.append(
+                CorrelationPoint(
+                    benchmark=name,
+                    instructions=trace.instruction_count,
+                    fast_cycles=fast.cycles,
+                    reference_cycles=reference.cycles,
+                    fast_seconds=fast_seconds,
+                    reference_seconds=reference_seconds,
+                )
+            )
+    return CorrelationResult(points)

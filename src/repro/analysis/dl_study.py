@@ -1,0 +1,101 @@
+"""Fig. 13 driver: the DL-training case study end to end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import BuddyCompressor, BuddyConfig
+from repro.core.targets import FINAL
+from repro.dlmodel.casestudy import CaseStudyRow, buddy_batch_speedups, mean_speedup
+from repro.dlmodel.convergence import accuracy_curve, final_accuracy
+from repro.dlmodel.memory import footprint_bytes
+from repro.dlmodel.networks import NETWORK_BUILDERS
+from repro.dlmodel.throughput import speedup_vs_batch
+from repro.units import GIB
+from repro.workloads.snapshots import SnapshotConfig
+
+BATCH_SWEEP = (16, 32, 64, 128, 256)
+
+
+@dataclass
+class DLStudyResult:
+    """The four Fig. 13 panels."""
+
+    footprints: dict[str, dict[int, float]]  # GB per (network, batch)
+    throughput_speedups: dict[str, dict[int, float]]
+    case_study: list[CaseStudyRow]
+    accuracy: dict[int, np.ndarray]
+
+    @property
+    def mean_case_speedup(self) -> float:
+        return mean_speedup(self.case_study)
+
+
+def measured_compression_ratios(
+    config: SnapshotConfig | None = None,
+) -> dict[str, float]:
+    """Per-network buddy ratios from the Fig. 7 pipeline."""
+    engine = BuddyCompressor(
+        BuddyConfig(snapshot_config=config or SnapshotConfig(scale=1.0 / 65536))
+    )
+    ratios = {}
+    for name in NETWORK_BUILDERS:
+        ratios[name] = engine.run(name, FINAL).compression_ratio
+    return ratios
+
+
+def run_dl_study(
+    compression_ratios: dict[str, float] | None = None,
+    batches=BATCH_SWEEP,
+    epochs: int = 100,
+) -> DLStudyResult:
+    """Produce all four Fig. 13 panels."""
+    ratios = compression_ratios or measured_compression_ratios()
+    footprints = {
+        name: {
+            batch: footprint_bytes(name, batch) / GIB for batch in batches
+        }
+        for name in NETWORK_BUILDERS
+    }
+    speedups = {
+        name: speedup_vs_batch(name, batches) for name in NETWORK_BUILDERS
+    }
+    case_study = buddy_batch_speedups(ratios)
+    accuracy = {
+        batch: accuracy_curve(batch, epochs) for batch in batches
+    }
+    return DLStudyResult(footprints, speedups, case_study, accuracy)
+
+
+def format_dl_tables(result: DLStudyResult) -> str:
+    lines = ["Fig 13a - footprint (GB) vs mini-batch:"]
+    batches = sorted(next(iter(result.footprints.values())))
+    header = f"{'network':14s}" + "".join(f"{b:>9d}" for b in batches)
+    lines.append(header)
+    for name, row in result.footprints.items():
+        lines.append(
+            f"{name:14s}" + "".join(f"{row[b]:9.2f}" for b in batches)
+        )
+    lines.append("\nFig 13b - images/s speedup vs batch (relative to 16):")
+    lines.append(header)
+    for name, row in result.throughput_speedups.items():
+        lines.append(
+            f"{name:14s}" + "".join(f"{row[b]:9.2f}" for b in batches)
+        )
+    lines.append("\nFig 13c - Buddy-enabled batch speedups:")
+    for row in result.case_study:
+        lines.append(
+            f"{row.network:14s} ratio {row.compression_ratio:4.2f} "
+            f"batch {row.baseline_batch:4d} -> {row.buddy_batch:4d} "
+            f"speedup {row.speedup:5.2f}"
+        )
+    lines.append(f"mean speedup: {result.mean_case_speedup:.2f} (paper 1.14)")
+    lines.append("\nFig 13d - final validation accuracy by batch:")
+    for batch, curve in result.accuracy.items():
+        lines.append(
+            f"batch {batch:4d}: final {curve[-1]:.3f} "
+            f"(epoch-50 {curve[49]:.3f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Fig. 5b: metadata cache hit rate versus total cache size.
+
+The study replays each benchmark's demand-miss metadata stream —
+derived from its synthetic trace — through metadata caches of
+increasing capacity.  At a larger footprint scale than the timing
+runs (metadata capacity only matters relative to footprint), the
+strided large-footprint codes (351.palm, 355.seismic) stay below the
+streaming and small-footprint benchmarks, reproducing the paper's
+Fig. 5b ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metadata_cache import MetadataCache
+from repro.core.translation import ENTRIES_PER_METADATA_LINE
+from repro.gpusim.trace import Op
+from repro.units import KIB
+from repro.workloads.catalog import ALL_BENCHMARKS
+from repro.workloads.snapshots import SnapshotConfig
+from repro.workloads.traces import TraceConfig, generate_trace
+
+#: Cache sizes swept (total bytes across slices).
+DEFAULT_SIZES = tuple(k * KIB for k in (1, 2, 4, 8, 16, 32, 64))
+
+
+@dataclass
+class MetadataStudyRow:
+    benchmark: str
+    hit_rates: dict[int, float]  # cache bytes -> hit rate
+
+
+def metadata_access_stream(benchmark: str, config: TraceConfig) -> list[int]:
+    """Per-access metadata entry indices, in interleaved warp order."""
+    trace = generate_trace(benchmark, config)
+    streams = [
+        [instr[1] // 128 for instr in warp.instructions if instr[0] != Op.COMPUTE]
+        for warp in trace.warps
+    ]
+    # Round-robin across warps approximates the issue interleaving.
+    interleaved: list[int] = []
+    depth = max(len(s) for s in streams)
+    for index in range(depth):
+        for stream in streams:
+            if index < len(stream):
+                interleaved.append(stream[index])
+    return interleaved
+
+
+def run_metadata_study(
+    benchmarks=None,
+    sizes=DEFAULT_SIZES,
+    trace_config: TraceConfig | None = None,
+) -> list[MetadataStudyRow]:
+    """Sweep metadata cache sizes per benchmark (Fig. 5b)."""
+    trace_config = trace_config or TraceConfig(
+        snapshot_config=SnapshotConfig(scale=1.0 / 2048)
+    )
+    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
+    rows = []
+    for name in names:
+        stream = metadata_access_stream(name, trace_config)
+        hit_rates = {}
+        for size in sizes:
+            cache = MetadataCache(size, ways=2, slices=2)
+            for entry in stream:
+                cache.access_entry(entry)
+            hit_rates[size] = cache.stats.hit_rate
+        rows.append(MetadataStudyRow(name, hit_rates))
+    return rows
+
+
+def format_metadata_table(rows: list[MetadataStudyRow]) -> str:
+    sizes = sorted(next(iter(rows)).hit_rates)
+    header = f"{'benchmark':14s} " + " ".join(
+        f"{size // KIB:>4d}K" for size in sizes
+    )
+    lines = [header]
+    for row in rows:
+        cells = " ".join(f"{row.hit_rates[s]:5.2f}" for s in sizes)
+        lines.append(f"{row.benchmark:14s} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Fig. 11 driver: performance relative to an ideal large-memory GPU.
+
+For every benchmark, runs the dependency-driven simulator under:
+
+* the ideal (uncompressed, unlimited-capacity) baseline;
+* bandwidth-only compression;
+* full Buddy Compression at each swept interconnect bandwidth
+  (50/100/150/200 GB/s full-duplex, per the paper).
+
+All results are reported as speedup relative to the ideal baseline
+with a 150 GB/s interconnect, exactly as the paper normalises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import BuddyCompressor, BuddyConfig
+from repro.core.targets import FINAL
+from repro.gpusim.compression import CompressionMode, CompressionState
+from repro.gpusim.config import GPUConfig, scaled_config
+from repro.gpusim.simulator import DependencyDrivenSimulator, SimResult
+from repro.workloads.catalog import ALL_BENCHMARKS, DL_BENCHMARKS, HPC_BENCHMARKS
+from repro.workloads.snapshots import SnapshotConfig
+from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
+
+#: The paper's interconnect sweep (GB/s, unidirectional full-duplex).
+LINK_SWEEP = (50.0, 100.0, 150.0, 200.0)
+
+
+@dataclass
+class BenchmarkPerf:
+    """Fig. 11 series for one benchmark (speedups vs ideal@150)."""
+
+    benchmark: str
+    is_hpc: bool
+    ideal_cycles: float
+    bandwidth_only: float
+    buddy: dict[float, float]
+    metadata_hit_rate: float
+    buddy_access_fraction: float
+
+
+@dataclass
+class PerfStudyResult:
+    """Full Fig. 11 dataset."""
+
+    per_benchmark: list[BenchmarkPerf]
+
+    def suite_gmean(self, hpc: bool, series: str, link: float = 150.0) -> float:
+        values = []
+        for row in self.per_benchmark:
+            if row.is_hpc != hpc:
+                continue
+            if series == "bandwidth":
+                values.append(row.bandwidth_only)
+            else:
+                values.append(row.buddy[link])
+        return float(np.exp(np.mean(np.log(values)))) if values else 0.0
+
+    def overall_gmean(self, series: str, link: float = 150.0) -> float:
+        values = []
+        for row in self.per_benchmark:
+            value = row.bandwidth_only if series == "bandwidth" else row.buddy[link]
+            values.append(value)
+        return float(np.exp(np.mean(np.log(values))))
+
+
+def run_perf_study(
+    benchmarks=None,
+    config: GPUConfig | None = None,
+    trace_config: TraceConfig | None = None,
+    link_sweep=LINK_SWEEP,
+    profile_config: SnapshotConfig | None = None,
+) -> PerfStudyResult:
+    """Run the full Fig. 11 sweep.
+
+    Args:
+        benchmarks: Iterable of benchmark names (default: all 16).
+        config: Simulator machine (default: the scaled machine).
+        trace_config: Trace generation knobs.
+        link_sweep: Interconnect bandwidths for the buddy runs.
+        profile_config: Snapshot scaling for the profiling pass that
+            picks target ratios (smaller than the trace scale — it
+            only needs histograms).
+    """
+    config = config or scaled_config()
+    trace_config = trace_config or TraceConfig(
+        sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
+    )
+    profile_config = profile_config or SnapshotConfig(scale=1.0 / 65536)
+    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
+    engine = BuddyCompressor(BuddyConfig(snapshot_config=profile_config))
+
+    rows = []
+    for name in names:
+        trace = generate_trace(name, trace_config)
+        snapshot = layout_snapshot(name, trace_config)
+        selection = engine.select(engine.profile(name), FINAL)
+
+        ideal = DependencyDrivenSimulator(config).run(
+            trace, CompressionState.ideal(trace.footprint_bytes)
+        )
+        bandwidth_state = CompressionState.from_snapshot(
+            snapshot, selection, CompressionMode.BANDWIDTH
+        )
+        bandwidth = DependencyDrivenSimulator(config).run(trace, bandwidth_state)
+
+        buddy_state = CompressionState.from_snapshot(
+            snapshot, selection, CompressionMode.BUDDY
+        )
+        buddy = {}
+        meta_hit = 0.0
+        for link in link_sweep:
+            result = DependencyDrivenSimulator(config.with_link(link)).run(
+                trace, buddy_state
+            )
+            buddy[link] = ideal.cycles / result.cycles
+            if link == 150.0:
+                meta_hit = result.metadata_hit_rate
+
+        from repro.workloads.catalog import get_benchmark
+
+        rows.append(
+            BenchmarkPerf(
+                benchmark=name,
+                is_hpc=get_benchmark(name).is_hpc,
+                ideal_cycles=ideal.cycles,
+                bandwidth_only=ideal.cycles / bandwidth.cycles,
+                buddy=buddy,
+                metadata_hit_rate=meta_hit,
+                buddy_access_fraction=buddy_state.buddy_access_fraction(),
+            )
+        )
+    return PerfStudyResult(rows)
+
+
+def format_perf_table(result: PerfStudyResult, link_sweep=LINK_SWEEP) -> str:
+    """Render the Fig. 11 dataset as an ASCII table."""
+    header = (
+        f"{'benchmark':14s} {'bw-only':>8s} "
+        + " ".join(f"bud@{int(l):<3d}" for l in link_sweep)
+        + "  meta-hit"
+    )
+    lines = [header]
+    for row in result.per_benchmark:
+        buddies = " ".join(f"{row.buddy[l]:7.3f}" for l in link_sweep)
+        lines.append(
+            f"{row.benchmark:14s} {row.bandwidth_only:8.3f} {buddies}  {row.metadata_hit_rate:7.2f}"
+        )
+    for label, hpc in (("HPC", True), ("DL", False)):
+        buddies = " ".join(
+            f"{result.suite_gmean(hpc, 'buddy', l):7.3f}" for l in link_sweep
+        )
+        lines.append(
+            f"{'GMEAN ' + label:14s} {result.suite_gmean(hpc, 'bandwidth'):8.3f} {buddies}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Shared reporting helpers for benches and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gmean(values) -> float:
+    """Geometric mean (the paper's suite aggregation)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    if (array <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def table(headers: list[str], rows: list[list], widths=None) -> str:
+    """Simple fixed-width ASCII table."""
+    widths = widths or [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) + 2
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return "".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers), fmt(["-" * (w - 2) for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def paper_vs_measured(rows: list[tuple[str, float, float]]) -> str:
+    """Render (metric, paper, measured) triples."""
+    out = [f"{'metric':44s} {'paper':>10s} {'measured':>10s}"]
+    for name, paper, measured in rows:
+        out.append(f"{name:44s} {paper:10.3f} {measured:10.3f}")
+    return "\n".join(out)

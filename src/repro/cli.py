@@ -1,0 +1,92 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Experiments map one-to-one onto the paper's tables and figures; each
+prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _fig3(args) -> None:
+    from repro.analysis.compression_study import fig3_compression_ratios, suite_gmean
+
+    rows = fig3_compression_ratios()
+    for row in rows:
+        print(f"{row.benchmark:14s} {row.mean_ratio:5.2f}")
+    print(f"GMEAN HPC {suite_gmean(rows, True):.2f} (paper 2.51)")
+    print(f"GMEAN DL  {suite_gmean(rows, False):.2f} (paper 1.85)")
+
+
+def _fig6(args) -> None:
+    from repro.analysis.compression_study import fig6_heatmap, render_heatmap
+
+    for name in args.benchmarks or ("FF_HPGMG", "356.sp", "ResNet50"):
+        print(f"== {name} (.:1 -:2 +:3 #:4 sectors) ==")
+        print(render_heatmap(fig6_heatmap(name)))
+
+
+def _fig7(args) -> None:
+    from repro.analysis.compression_study import fig7_design_points
+
+    study = fig7_design_points()
+    for design in ("naive", "per-allocation", "final"):
+        for label, hpc in (("HPC", True), ("DL", False)):
+            ratio, accesses = study.suite_summary(design, hpc)
+            print(f"{design:16s} {label}: {ratio:.2f}x, {accesses:.2%} buddy accesses")
+
+
+def _fig11(args) -> None:
+    from repro.analysis.perf_study import format_perf_table, run_perf_study
+
+    result = run_perf_study()
+    print(format_perf_table(result))
+
+
+def _fig12(args) -> None:
+    from repro.analysis.um_study import fig12_curves, format_fig12_table
+
+    print(format_fig12_table(fig12_curves()))
+
+
+def _fig13(args) -> None:
+    from repro.analysis.dl_study import format_dl_tables, run_dl_study
+
+    print(format_dl_tables(run_dl_study()))
+
+
+def _fig10(args) -> None:
+    from repro.analysis.correlation_study import run_correlation_study
+
+    result = run_correlation_study()
+    print(f"correlation (log cycles): {result.correlation:.3f} (paper 0.989)")
+    print(f"fast-vs-reference wall-clock ratio: {result.mean_speed_ratio:.0f}x")
+
+
+_EXPERIMENTS = {
+    "fig3": _fig3,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Buddy Compression reproduction experiments",
+    )
+    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    parser.add_argument("benchmarks", nargs="*", help="optional benchmark subset")
+    args = parser.parse_args(argv)
+    _EXPERIMENTS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Common interface for block-compression algorithms.
+
+All algorithms operate on one 128 B *memory-entry* — the paper's
+compression granularity — presented as 32 little-endian ``uint32``
+words.  Implementations report compressed sizes in bytes; codecs that
+support decompression also return a :class:`CompressedBlock` wrapping
+the encoded bitstream.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import MEMORY_ENTRY_BYTES, WORDS_PER_ENTRY
+
+
+@dataclass(frozen=True)
+class CompressedBlock:
+    """An encoded memory-entry.
+
+    Attributes:
+        algorithm: Name of the producing algorithm.
+        bits: The encoded bitstream (as a Python ``bytes`` of 0/1 flags
+            is wasteful; we store packed bytes plus a bit length).
+        bit_length: Number of valid bits in ``bits``.
+    """
+
+    algorithm: str
+    bits: bytes
+    bit_length: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Compressed size in whole bytes (what the hardware stores)."""
+        return (self.bit_length + 7) // 8
+
+
+class CompressionAlgorithm(abc.ABC):
+    """A block compressor for 128 B memory-entries."""
+
+    #: Short identifier, e.g. ``"bpc"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compressed_size(self, words: np.ndarray) -> int:
+        """Compressed size in bytes of one entry (32 ``uint32`` words).
+
+        Sizes are capped at 128: an entry that does not compress is
+        stored raw.
+        """
+
+    def compressed_sizes(self, blocks: np.ndarray) -> np.ndarray:
+        """Compressed sizes for many entries at once.
+
+        Args:
+            blocks: ``(n, 32)`` array of ``uint32`` words.
+
+        Returns:
+            ``(n,)`` ``int64`` array of sizes in bytes.
+
+        The base implementation loops; vectorisable algorithms override
+        this with a bulk path.
+        """
+        blocks = as_blocks(blocks)
+        return np.array(
+            [self.compressed_size(block) for block in blocks], dtype=np.int64
+        )
+
+    def compression_ratio(self, blocks: np.ndarray) -> float:
+        """Aggregate ratio (original bytes / compressed bytes) over blocks."""
+        blocks = as_blocks(blocks)
+        sizes = self.compressed_sizes(blocks)
+        compressed = int(sizes.sum())
+        if compressed == 0:
+            return float("inf")
+        return blocks.shape[0] * MEMORY_ENTRY_BYTES / compressed
+
+
+def as_blocks(data: np.ndarray) -> np.ndarray:
+    """View arbitrary array data as ``(n, 32)`` uint32 memory-entries.
+
+    The input is flattened, viewed as raw bytes, zero-padded to a
+    multiple of 128 B, and reshaped.  This mirrors how the paper's
+    tooling walked raw memory dumps.
+    """
+    if data.ndim == 2 and data.dtype == np.uint32 and data.shape[1] == WORDS_PER_ENTRY:
+        return data
+    raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    remainder = raw.size % MEMORY_ENTRY_BYTES
+    if remainder:
+        raw = np.concatenate(
+            [raw, np.zeros(MEMORY_ENTRY_BYTES - remainder, dtype=np.uint8)]
+        )
+    return raw.view(np.uint32).reshape(-1, WORDS_PER_ENTRY)

@@ -1,0 +1,65 @@
+"""Bit-level I/O used by the exact (roundtrip) codecs.
+
+The hardware serialises variable-length codes MSB-first; both classes
+here follow that convention so encoded streams are byte-identical run
+to run and stable for golden tests.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates an MSB-first bitstream."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._length = 0
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` (must fit, non-negative)."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._length += width
+
+    @property
+    def bit_length(self) -> int:
+        return self._length
+
+    def to_bytes(self) -> bytes:
+        """Pack the stream into bytes, left-aligned (MSB of byte 0 first)."""
+        if self._length == 0:
+            return b""
+        pad = (-self._length) % 8
+        return ((self._value << pad)).to_bytes((self._length + pad) // 8, "big")
+
+
+class BitReader:
+    """Reads an MSB-first bitstream produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, bit_length: int) -> None:
+        self._data = data
+        self._bit_length = bit_length
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        """Consume and return the next ``width`` bits as an integer."""
+        if self._pos + width > self._bit_length:
+            raise EOFError(
+                f"read past end of stream ({self._pos}+{width}>{self._bit_length})"
+            )
+        value = 0
+        pos = self._pos
+        for _ in range(width):
+            byte = self._data[pos // 8]
+            bit = (byte >> (7 - pos % 8)) & 1
+            value = (value << 1) | bit
+            pos += 1
+        self._pos = pos
+        return value
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._bit_length - self._pos

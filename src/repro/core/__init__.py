@@ -1,0 +1,48 @@
+"""Buddy Compression — the paper's primary contribution.
+
+The engine follows the paper's flow end to end:
+
+1. :mod:`repro.core.profiler` runs the profiling pass over a smaller
+   dataset (the paper: SpecAccel ``train``, DL small batch) and builds
+   per-allocation compressed-size histograms.
+2. :mod:`repro.core.targets` turns histograms into per-allocation
+   target compression ratios under a Buddy Threshold, including the
+   naive whole-program baseline and the 16x zero-page promotion.
+3. :mod:`repro.core.allocator` and :mod:`repro.core.translation` model
+   the split device/buddy layout: GBBR-relative carve-out addressing,
+   page-table extension bits and the 4-bit-per-entry size metadata.
+4. :mod:`repro.core.metadata_cache` models the sliced metadata cache
+   (Fig. 5b).
+5. :mod:`repro.core.controller` ties it together: profile → annotate →
+   place → measure compression ratio and buddy traffic on the
+   reference run (Figs. 7, 8, 9).
+"""
+
+from repro.core.entry import TargetRatio, ALLOWED_TARGETS
+from repro.core.histogram import SectorHistogram
+from repro.core.profiler import AllocationProfile, BenchmarkProfile, profile_benchmark
+from repro.core.targets import (
+    DesignPoint,
+    select_naive,
+    select_per_allocation,
+    apply_zero_page,
+    selection_ratio,
+)
+from repro.core.controller import BuddyCompressor, BuddyConfig, EvaluationResult
+
+__all__ = [
+    "TargetRatio",
+    "ALLOWED_TARGETS",
+    "SectorHistogram",
+    "AllocationProfile",
+    "BenchmarkProfile",
+    "profile_benchmark",
+    "DesignPoint",
+    "select_naive",
+    "select_per_allocation",
+    "apply_zero_page",
+    "selection_ratio",
+    "BuddyCompressor",
+    "BuddyConfig",
+    "EvaluationResult",
+]

@@ -1,0 +1,152 @@
+"""Split device/buddy allocator.
+
+Models the paper's memory organisation: compressed allocations reserve
+``entries * target.device_bytes`` of device memory, and every entry
+owns a fixed pre-allocated overflow slot in the buddy-memory carve-out
+(a physically contiguous region of host/disaggregated memory sized 3x
+device memory, addressed GBBR + offset).  Because slots are fixed,
+compressibility changes never move pages — the key design property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.entry import TargetRatio
+from repro.units import GIB, MEMORY_ENTRY_BYTES
+
+
+class OutOfMemoryError(Exception):
+    """Device memory or buddy carve-out exhausted."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One placed allocation."""
+
+    name: str
+    entries: int
+    target: TargetRatio
+    device_base: int
+    buddy_offset: int  # GBBR-relative; -1 when no buddy slots are needed
+
+    @property
+    def logical_bytes(self) -> int:
+        """Uncompressed size the application sees."""
+        return self.entries * MEMORY_ENTRY_BYTES
+
+    @property
+    def device_bytes(self) -> int:
+        return self.entries * self.target.device_bytes
+
+    @property
+    def buddy_bytes(self) -> int:
+        return self.entries * self.target.buddy_bytes
+
+    def device_address(self, entry_index: int) -> int:
+        """Device address of an entry's resident slot."""
+        self._check(entry_index)
+        return self.device_base + entry_index * self.target.device_bytes
+
+    def buddy_address(self, entry_index: int) -> int:
+        """GBBR-relative address of an entry's overflow slot."""
+        self._check(entry_index)
+        if self.buddy_offset < 0:
+            raise ValueError(f"{self.name} has no buddy slots (1x target)")
+        return self.buddy_offset + entry_index * self.target.buddy_bytes
+
+    def _check(self, entry_index: int) -> None:
+        if not 0 <= entry_index < self.entries:
+            raise IndexError(
+                f"entry {entry_index} outside 0..{self.entries - 1}"
+            )
+
+
+@dataclass
+class BuddyAllocator:
+    """Bump allocator over device memory plus the buddy carve-out.
+
+    Attributes:
+        device_capacity: GPU device memory in bytes.
+        carve_out_ratio: Carve-out size as a multiple of device memory
+            (3x supports a 4x maximum target ratio).
+    """
+
+    device_capacity: int = 12 * GIB
+    carve_out_ratio: float = 3.0
+    _device_used: int = field(default=0, init=False)
+    _buddy_used: int = field(default=0, init=False)
+    _allocations: dict[str, Allocation] = field(default_factory=dict, init=False)
+
+    @property
+    def buddy_capacity(self) -> int:
+        return int(self.device_capacity * self.carve_out_ratio)
+
+    @property
+    def device_used(self) -> int:
+        return self._device_used
+
+    @property
+    def buddy_used(self) -> int:
+        return self._buddy_used
+
+    @property
+    def allocations(self) -> tuple[Allocation, ...]:
+        return tuple(self._allocations.values())
+
+    def allocate(
+        self, name: str, logical_bytes: int, target: TargetRatio
+    ) -> Allocation:
+        """Place an allocation annotated with a target ratio.
+
+        Args:
+            name: Unique allocation label.
+            logical_bytes: Uncompressed allocation size (rounded up to
+                whole memory-entries).
+            target: Annotated target compression ratio.
+
+        Raises:
+            OutOfMemoryError: Either region cannot fit the request.
+            ValueError: Duplicate allocation name.
+        """
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        entries = -(-logical_bytes // MEMORY_ENTRY_BYTES)
+        device_bytes = entries * target.device_bytes
+        buddy_bytes = entries * target.buddy_bytes
+        if self._device_used + device_bytes > self.device_capacity:
+            raise OutOfMemoryError(
+                f"{name}: needs {device_bytes} device bytes, "
+                f"{self.device_capacity - self._device_used} free"
+            )
+        if self._buddy_used + buddy_bytes > self.buddy_capacity:
+            raise OutOfMemoryError(
+                f"{name}: needs {buddy_bytes} carve-out bytes, "
+                f"{self.buddy_capacity - self._buddy_used} free"
+            )
+        allocation = Allocation(
+            name=name,
+            entries=entries,
+            target=target,
+            device_base=self._device_used,
+            buddy_offset=self._buddy_used if buddy_bytes else -1,
+        )
+        self._device_used += device_bytes
+        self._buddy_used += buddy_bytes
+        self._allocations[name] = allocation
+        return allocation
+
+    def free(self, name: str) -> None:
+        """Release an allocation (capacity only; bump offsets persist)."""
+        allocation = self._allocations.pop(name, None)
+        if allocation is None:
+            raise KeyError(f"no allocation {name!r}")
+        self._device_used -= allocation.device_bytes
+        self._buddy_used -= allocation.buddy_bytes
+
+    def effective_capacity_ratio(self) -> float:
+        """Logical bytes placed per device byte consumed."""
+        logical = sum(a.logical_bytes for a in self._allocations.values())
+        if self._device_used == 0:
+            return 1.0
+        return logical / self._device_used

@@ -1,0 +1,182 @@
+"""The Buddy Compression engine facade.
+
+:class:`BuddyCompressor` drives the paper's full static pipeline for a
+benchmark: profile on the smaller dataset, pick per-allocation target
+ratios for a design point, then evaluate the annotated program on the
+reference dataset — compression ratio achieved, and the fraction of
+memory-entries (and sectors) that must be sourced from buddy-memory
+at every snapshot (Figs. 7, 8, 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.base import CompressionAlgorithm
+from repro.compression.bpc import BPCCompressor
+from repro.core import targets as targets_mod
+from repro.core.allocator import BuddyAllocator
+from repro.core.entry import TargetRatio
+from repro.core.histogram import SectorHistogram
+from repro.core.profiler import BenchmarkProfile, profile_benchmark, profile_snapshots
+from repro.core.targets import DesignPoint
+from repro.units import GIB, MEMORY_ENTRY_BYTES
+from repro.workloads.snapshots import SnapshotConfig, generate_run
+
+
+@dataclass(frozen=True)
+class BuddyConfig:
+    """Engine configuration (paper defaults)."""
+
+    threshold: float = targets_mod.DEFAULT_THRESHOLD
+    zero_tolerance: float = targets_mod.ZERO_PAGE_TOLERANCE
+    naive_overflow_cap: float = targets_mod.NAIVE_OVERFLOW_CAP
+    max_overall_ratio: float = targets_mod.MAX_OVERALL_RATIO
+    snapshot_config: SnapshotConfig = field(default_factory=SnapshotConfig)
+
+
+@dataclass
+class SnapshotTraffic:
+    """Buddy-memory traffic of one reference snapshot."""
+
+    index: int
+    entry_fraction: float  # fraction of entries needing any buddy access
+    sector_fraction: float  # overflow sectors per entry (traffic weight)
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one design point on one benchmark."""
+
+    benchmark: str
+    design: str
+    selection: dict[str, TargetRatio]
+    compression_ratio: float
+    per_snapshot: list[SnapshotTraffic]
+
+    @property
+    def buddy_access_fraction(self) -> float:
+        """Mean fraction of entries requiring buddy accesses."""
+        if not self.per_snapshot:
+            return 0.0
+        return float(np.mean([s.entry_fraction for s in self.per_snapshot]))
+
+    @property
+    def buddy_sector_fraction(self) -> float:
+        """Mean overflow sectors per entry (traffic-weighted)."""
+        if not self.per_snapshot:
+            return 0.0
+        return float(np.mean([s.sector_fraction for s in self.per_snapshot]))
+
+
+class BuddyCompressor:
+    """Profile / annotate / evaluate pipeline for one configuration."""
+
+    def __init__(
+        self,
+        config: BuddyConfig | None = None,
+        algorithm: CompressionAlgorithm | None = None,
+    ) -> None:
+        self.config = config or BuddyConfig()
+        self.algorithm = algorithm or BPCCompressor()
+
+    # ------------------------------------------------------------------
+    def profile(self, benchmark: str) -> BenchmarkProfile:
+        """Run the profiling pass (profile-role snapshots)."""
+        return profile_benchmark(
+            benchmark, self.config.snapshot_config, self.algorithm
+        )
+
+    def select(
+        self, profile: BenchmarkProfile, design: DesignPoint
+    ) -> dict[str, TargetRatio]:
+        """Choose target ratios for a design point."""
+        if design.per_allocation:
+            selection = targets_mod.select_per_allocation(
+                profile, design.threshold
+            )
+        else:
+            selection = targets_mod.select_naive(
+                profile, self.config.naive_overflow_cap
+            )
+        if design.zero_page:
+            selection = targets_mod.apply_zero_page(
+                selection,
+                profile,
+                self.config.zero_tolerance,
+                self.config.max_overall_ratio,
+            )
+        return selection
+
+    def evaluate(
+        self,
+        benchmark: str,
+        selection: dict[str, TargetRatio],
+        design_name: str = "custom",
+    ) -> EvaluationResult:
+        """Measure a selection against the reference run."""
+        reference = profile_snapshots(
+            benchmark,
+            generate_run(benchmark, self.config.snapshot_config),
+            self.algorithm,
+        )
+        ratio = targets_mod.selection_ratio(selection, reference)
+        snapshots = len(next(iter(reference.allocations)).per_snapshot)
+        per_snapshot = []
+        for index in range(snapshots):
+            entries = 0
+            overflowing = 0.0
+            sectors = 0.0
+            for alloc in reference.allocations:
+                histogram = alloc.per_snapshot[index]
+                target = selection[alloc.name]
+                entries += histogram.total
+                overflowing += histogram.overflow_fraction(target) * histogram.total
+                sectors += histogram.buddy_sector_fraction(target) * histogram.total
+            per_snapshot.append(
+                SnapshotTraffic(
+                    index,
+                    overflowing / max(entries, 1),
+                    sectors / max(entries, 1),
+                )
+            )
+        return EvaluationResult(
+            benchmark=benchmark,
+            design=design_name,
+            selection=selection,
+            compression_ratio=ratio,
+            per_snapshot=per_snapshot,
+        )
+
+    def run(
+        self, benchmark: str, design: DesignPoint = targets_mod.FINAL
+    ) -> EvaluationResult:
+        """Full pipeline for one benchmark and design point."""
+        profile = self.profile(benchmark)
+        selection = self.select(profile, design)
+        return self.evaluate(benchmark, selection, design.name)
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        benchmark: str,
+        selection: dict[str, TargetRatio],
+        device_capacity: int = 12 * GIB,
+    ) -> BuddyAllocator:
+        """Build the device + carve-out layout for a selection.
+
+        Uses the reference run's allocation sizes; raises
+        :class:`repro.core.allocator.OutOfMemoryError` if the selection
+        cannot fit, which is how capacity experiments detect failure.
+        """
+        snapshot = next(iter(generate_run(benchmark, self.config.snapshot_config)))
+        allocator = BuddyAllocator(device_capacity=device_capacity)
+        for alloc in snapshot.allocations:
+            allocator.allocate(
+                alloc.name,
+                alloc.entries * MEMORY_ENTRY_BYTES,
+                selection[alloc.name],
+            )
+        return allocator

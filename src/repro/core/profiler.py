@@ -1,0 +1,121 @@
+"""The profiling pass.
+
+Mirrors Section 3.4: the application is first run on a representative
+smaller dataset (SpecAccel's ``train`` set; a smaller mini-batch for
+DL) while a tool snapshots memory and accumulates per-allocation
+histograms of compressed memory-entry sizes.  The output feeds target
+selection in :mod:`repro.core.targets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import CompressionAlgorithm
+from repro.compression.bpc import BPCCompressor
+from repro.core.histogram import SectorHistogram
+from repro.workloads.snapshots import (
+    MemorySnapshot,
+    SnapshotConfig,
+    generate_run,
+)
+
+
+@dataclass
+class AllocationProfile:
+    """Aggregated profiling data for one allocation.
+
+    Attributes:
+        name: Allocation label.
+        fraction: Fraction of the benchmark footprint.
+        merged: Histogram over all profiling snapshots.
+        per_snapshot: One histogram per snapshot (stability checks —
+            the zero-page class requires allocations that stay
+            mostly-zero for the whole run).
+    """
+
+    name: str
+    fraction: float
+    merged: SectorHistogram
+    per_snapshot: list[SectorHistogram]
+
+    def worst_overflow(self, target) -> float:
+        """Max over snapshots of the overflow fraction at ``target``.
+
+        This is the "conservative" view the paper's profiler takes:
+        355.seismic's compressibility halves over its run, and a
+        target chosen from the run average would overflow massively
+        late in execution.
+        """
+        return max(
+            (h.overflow_fraction(target) for h in self.per_snapshot),
+            default=1.0,
+        )
+
+    @property
+    def worst_zero_overflow(self) -> float:
+        """Max over snapshots of the 16x-class overflow fraction."""
+        from repro.core.entry import TargetRatio
+
+        return self.worst_overflow(TargetRatio.X16)
+
+
+@dataclass
+class BenchmarkProfile:
+    """Profiling output for one benchmark run."""
+
+    benchmark: str
+    allocations: list[AllocationProfile]
+
+    def allocation(self, name: str) -> AllocationProfile:
+        for alloc in self.allocations:
+            if alloc.name == name:
+                return alloc
+        raise KeyError(f"no allocation {name!r} in profile of {self.benchmark}")
+
+    def program_histogram(self) -> SectorHistogram:
+        """Whole-program histogram (what the naive design sees)."""
+        merged = SectorHistogram()
+        for alloc in self.allocations:
+            merged = merged.merge(alloc.merged)
+        return merged
+
+
+def profile_snapshots(
+    benchmark: str,
+    snapshots,
+    algorithm: CompressionAlgorithm | None = None,
+) -> BenchmarkProfile:
+    """Profile an explicit sequence of memory snapshots."""
+    algorithm = algorithm or BPCCompressor()
+    per_alloc: dict[str, list[SectorHistogram]] = {}
+    fractions: dict[str, float] = {}
+    for snapshot in snapshots:
+        for alloc in snapshot.allocations:
+            sizes = algorithm.compressed_sizes(alloc.data)
+            histogram = SectorHistogram.from_sizes(sizes)
+            per_alloc.setdefault(alloc.name, []).append(histogram)
+            fractions[alloc.name] = alloc.spec.fraction
+    profiles = []
+    for name, histograms in per_alloc.items():
+        merged = SectorHistogram()
+        for histogram in histograms:
+            merged = merged.merge(histogram)
+        profiles.append(
+            AllocationProfile(name, fractions[name], merged, histograms)
+        )
+    return BenchmarkProfile(benchmark, profiles)
+
+
+def profile_benchmark(
+    benchmark: str,
+    config: SnapshotConfig | None = None,
+    algorithm: CompressionAlgorithm | None = None,
+) -> BenchmarkProfile:
+    """Run the profiling pass on the benchmark's *profile* dataset."""
+    config = (config or SnapshotConfig()).as_profile()
+    return profile_snapshots(
+        benchmark, generate_run(benchmark, config), algorithm
+    )

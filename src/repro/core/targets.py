@@ -1,0 +1,164 @@
+"""Target-ratio selection policies.
+
+Three design points from the paper's Fig. 7, in increasing refinement:
+
+1. **Naive**: one conservative whole-program target ratio.
+2. **Per-allocation**: the largest sector-aligned target whose
+   overflow stays within the *Buddy Threshold* (Fig. 9 sweeps it;
+   30 % is the final choice).
+3. **Zero-page optimised** (the final design): additionally promotes
+   allocations that are mostly-zero across the entire profiled run to
+   the 16x class, subject to the 4x overall cap imposed by the
+   buddy-memory carve-out size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entry import ALLOWED_TARGETS, TargetRatio
+from repro.core.profiler import BenchmarkProfile
+from repro.units import MEMORY_ENTRY_BYTES
+
+#: The paper's default Buddy Threshold.
+DEFAULT_THRESHOLD = 0.30
+
+#: Guard on the naive whole-program choice: if more entries than this
+#: would overflow, naive falls back to the next lower ratio (keeps the
+#: single-target baseline from pathological 50 %+ buddy traffic on
+#: bimodal programs such as 370.bt).
+NAIVE_OVERFLOW_CAP = 0.35
+
+#: Stability bound for the zero-page promotion: the allocation must
+#: stay at least this zero across *every* profiled snapshot.
+ZERO_PAGE_TOLERANCE = 0.03
+
+#: Carve-out limit: buddy storage is 3x device memory, capping the
+#: overall target compression ratio at 4x.
+MAX_OVERALL_RATIO = 4.0
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A named selection policy configuration (Fig. 7's x-axis)."""
+
+    name: str
+    per_allocation: bool
+    zero_page: bool
+    threshold: float = DEFAULT_THRESHOLD
+
+
+#: Fig. 7's three design points.
+NAIVE = DesignPoint("naive", per_allocation=False, zero_page=False)
+PER_ALLOCATION = DesignPoint("per-allocation", per_allocation=True, zero_page=False)
+FINAL = DesignPoint("final", per_allocation=True, zero_page=True)
+
+
+def select_per_allocation(
+    profile: BenchmarkProfile, threshold: float = DEFAULT_THRESHOLD
+) -> dict[str, TargetRatio]:
+    """Largest target per allocation with overflow <= ``threshold``.
+
+    Overflow is judged conservatively against the *worst* profiled
+    snapshot, not the run average: compressibility drifts over time
+    (355.seismic) and the paper avoids that hazard by choosing
+    conservative targets.
+    """
+    selection = {}
+    for alloc in profile.allocations:
+        chosen = TargetRatio.X1
+        for target in ALLOWED_TARGETS:  # best-first
+            if alloc.worst_overflow(target) <= threshold:
+                chosen = target
+                break
+        selection[alloc.name] = chosen
+    return selection
+
+
+def select_naive(
+    profile: BenchmarkProfile,
+    overflow_cap: float = NAIVE_OVERFLOW_CAP,
+) -> dict[str, TargetRatio]:
+    """One conservative whole-program target for every allocation.
+
+    The target is the largest allowed ratio not exceeding the
+    program's average compressibility (rounding the profiled mean
+    down, as a conservative whole-program annotation would), subject
+    to the overflow cap.
+    """
+    histogram = profile.program_histogram()
+    mean_sectors = histogram.mean_sectors()
+    chosen = TargetRatio.X1
+    for target in ALLOWED_TARGETS:  # best-first: 4x, 2x, 1.33x, 1x
+        if target.device_sectors < mean_sectors:
+            continue  # more aggressive than the program average
+        if histogram.overflow_fraction(target) <= overflow_cap:
+            chosen = target
+            break
+    return {alloc.name: chosen for alloc in profile.allocations}
+
+
+def apply_zero_page(
+    selection: dict[str, TargetRatio],
+    profile: BenchmarkProfile,
+    tolerance: float = ZERO_PAGE_TOLERANCE,
+    max_overall_ratio: float = MAX_OVERALL_RATIO,
+) -> dict[str, TargetRatio]:
+    """Promote stably mostly-zero allocations to the 16x class.
+
+    Promotion is greedy, largest allocation first, and stops when the
+    overall target ratio would exceed the carve-out limit.
+    """
+    promoted = dict(selection)
+    candidates = [
+        alloc
+        for alloc in profile.allocations
+        if alloc.worst_zero_overflow <= tolerance
+    ]
+    for alloc in sorted(candidates, key=lambda a: -a.fraction):
+        trial = dict(promoted)
+        trial[alloc.name] = TargetRatio.X16
+        if selection_ratio(trial, profile) <= max_overall_ratio:
+            promoted = trial
+    return promoted
+
+
+def selection_ratio(
+    selection: dict[str, TargetRatio], profile: BenchmarkProfile
+) -> float:
+    """Overall compression ratio a selection achieves.
+
+    This is the paper's capacity metric: footprint divided by the
+    device memory the annotated allocations reserve.
+    """
+    footprint = 0.0
+    device = 0.0
+    for alloc in profile.allocations:
+        footprint += alloc.fraction * MEMORY_ENTRY_BYTES
+        device += alloc.fraction * selection[alloc.name].device_bytes
+    if device == 0:
+        return 1.0
+    return footprint / device
+
+
+def select(
+    profile: BenchmarkProfile, design: DesignPoint
+) -> dict[str, TargetRatio]:
+    """Run a full design point's selection policy."""
+    if design.per_allocation:
+        selection = select_per_allocation(profile, design.threshold)
+    else:
+        selection = select_naive(profile)
+    if design.zero_page:
+        selection = apply_zero_page(selection, profile)
+    return selection
+
+
+def threshold_sweep(
+    profile: BenchmarkProfile, thresholds=(0.10, 0.20, 0.30, 0.40)
+) -> dict[float, dict[str, TargetRatio]]:
+    """Fig. 9's x-axis: per-allocation selections across thresholds."""
+    return {
+        threshold: select_per_allocation(profile, threshold)
+        for threshold in thresholds
+    }

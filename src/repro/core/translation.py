@@ -1,0 +1,160 @@
+"""Compression metadata and address translation.
+
+Models Section 3.2's metadata architecture:
+
+* a Global Buddy Base-address Register (GBBR) holding the carve-out
+  base;
+* a 24-bit page-table-entry extension: compressed flag, target-ratio
+  code, and the buddy-page offset from the GBBR;
+* 4 bits of per-128 B-entry size metadata in a dedicated region of
+  device memory (0.4 % overhead), prefetched 32 B (64 entries) at a
+  time through the metadata cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.entry import TargetRatio
+from repro.units import ENTRIES_PER_PAGE, MEMORY_ENTRY_BYTES, PAGE_BYTES
+
+#: Metadata bits per 128 B memory-entry.
+METADATA_BITS_PER_ENTRY = 4
+
+#: Entries covered by one 32 B metadata cache line.
+ENTRIES_PER_METADATA_LINE = 32 * 8 // METADATA_BITS_PER_ENTRY  # 64
+
+#: 4-bit size codes: sectors 1..4 compressed, raw, and the zero classes.
+SIZE_CODE_ZERO = 0  # all-zero entry, no data read needed
+SIZE_CODE_SECTORS = {1: 1, 2: 2, 3: 3, 4: 4}  # compressed sector count
+SIZE_CODE_RAW = 5  # stored uncompressed
+
+#: Target-ratio codes for the PTE extension (3 bits).
+_TARGET_CODES = {
+    TargetRatio.X1: 0,
+    TargetRatio.X1_33: 1,
+    TargetRatio.X2: 2,
+    TargetRatio.X4: 3,
+    TargetRatio.X16: 4,
+}
+_CODE_TARGETS = {code: target for target, code in _TARGET_CODES.items()}
+
+
+@dataclass(frozen=True)
+class PageTableEntryExtension:
+    """The 24 compression bits added to each PTE.
+
+    Layout: bit 23 = compressed flag; bits 22–20 = target-ratio code;
+    bits 19–0 = buddy-page offset from the GBBR (in buddy pages).
+    """
+
+    compressed: bool
+    target: TargetRatio
+    buddy_page_offset: int
+
+    BITS = 24
+
+    def pack(self) -> int:
+        """Encode to the 24-bit hardware format."""
+        if not 0 <= self.buddy_page_offset < (1 << 20):
+            raise ValueError(
+                f"buddy page offset {self.buddy_page_offset} exceeds 20 bits"
+            )
+        return (
+            (int(self.compressed) << 23)
+            | (_TARGET_CODES[self.target] << 20)
+            | self.buddy_page_offset
+        )
+
+    @classmethod
+    def unpack(cls, value: int) -> "PageTableEntryExtension":
+        """Decode from the 24-bit hardware format."""
+        if not 0 <= value < (1 << cls.BITS):
+            raise ValueError(f"{value:#x} is not a 24-bit PTE extension")
+        return cls(
+            compressed=bool(value >> 23),
+            target=_CODE_TARGETS[(value >> 20) & 0b111],
+            buddy_page_offset=value & ((1 << 20) - 1),
+        )
+
+
+class MetadataStore:
+    """The dedicated device-memory region holding per-entry size codes."""
+
+    def __init__(self, device_capacity: int) -> None:
+        self._entries = device_capacity // MEMORY_ENTRY_BYTES
+        self._codes = np.zeros(self._entries, dtype=np.uint8)
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Storage consumed by metadata (0.4 % of device memory)."""
+        return self._entries * METADATA_BITS_PER_ENTRY // 8
+
+    @property
+    def overhead_fraction(self) -> float:
+        return METADATA_BITS_PER_ENTRY / (MEMORY_ENTRY_BYTES * 8)
+
+    def write(self, entry_index: int, code: int) -> None:
+        if not 0 <= code < 16:
+            raise ValueError(f"metadata code {code} exceeds 4 bits")
+        self._codes[entry_index] = code
+
+    def write_sectors(self, entry_index: int, sectors: int, is_zero: bool = False) -> None:
+        """Record an entry's compressed footprint."""
+        if is_zero:
+            self.write(entry_index, SIZE_CODE_ZERO)
+        else:
+            self.write(entry_index, SIZE_CODE_SECTORS[sectors])
+
+    def read(self, entry_index: int) -> int:
+        return int(self._codes[entry_index])
+
+    def metadata_address(self, entry_index: int) -> int:
+        """Device byte address of the metadata line covering an entry.
+
+        Metadata lines are 32 B and cover 64 consecutive entries; a
+        miss therefore prefetches the neighbours' codes, which is what
+        gives the metadata cache its locality (Fig. 5b).
+        """
+        line = entry_index // ENTRIES_PER_METADATA_LINE
+        return line * 32
+
+
+@dataclass
+class TranslationUnit:
+    """GBBR + extended-TLB translation front-end.
+
+    Maps a (page, entry) access to its device-resident slot and, for
+    overflowing entries, the buddy-memory slot behind the GBBR.
+    """
+
+    gbbr_base: int = 0
+    _pages: dict[int, PageTableEntryExtension] = field(
+        default_factory=dict, init=False
+    )
+
+    def map_page(
+        self, virtual_page: int, extension: PageTableEntryExtension
+    ) -> None:
+        self._pages[virtual_page] = extension
+
+    def lookup(self, virtual_page: int) -> PageTableEntryExtension:
+        try:
+            return self._pages[virtual_page]
+        except KeyError:
+            raise KeyError(f"page {virtual_page:#x} not mapped") from None
+
+    def buddy_address(self, virtual_page: int, entry_in_page: int) -> int:
+        """Physical buddy address of an entry's overflow slot."""
+        if not 0 <= entry_in_page < ENTRIES_PER_PAGE:
+            raise ValueError(f"entry {entry_in_page} outside page")
+        ext = self.lookup(virtual_page)
+        buddy_bytes = ext.target.buddy_bytes
+        page_base = self.gbbr_base + ext.buddy_page_offset * PAGE_BYTES
+        return page_base + entry_in_page * buddy_bytes
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,218 @@
+"""Layer algebra for the DL analytical models.
+
+Each layer reports, per sample: output shape, parameter count,
+forward FLOPs, and stored activation elements.  Training-time costs
+derive from these (backward ~= 2x forward FLOPs; Caffe keeps a diff
+blob alongside every data blob).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+Shape = tuple[int, ...]  # (channels, height, width) or (features,)
+
+
+class Layer(abc.ABC):
+    """One network layer."""
+
+    name: str = "layer"
+
+    @abc.abstractmethod
+    def output_shape(self, input_shape: Shape) -> Shape:
+        """Shape produced for one sample."""
+
+    @abc.abstractmethod
+    def parameters(self, input_shape: Shape) -> int:
+        """Learnable parameter count."""
+
+    @abc.abstractmethod
+    def forward_flops(self, input_shape: Shape) -> int:
+        """Multiply-accumulate FLOPs per sample (forward pass)."""
+
+    def activation_elements(self, input_shape: Shape) -> int:
+        """Elements stored for the backward pass, per sample."""
+        return _volume(self.output_shape(input_shape))
+
+    #: Parallelism granularity: independent output tiles available to
+    #: fill the GPU regardless of batch (convolutions parallelise over
+    #: pixels; GEMM-on-batch layers need large mini-batches).
+    def intrinsic_parallelism(self, input_shape: Shape) -> float:
+        return float(_volume(self.output_shape(input_shape)))
+
+
+def _volume(shape: Shape) -> int:
+    result = 1
+    for dim in shape:
+        result *= dim
+    return result
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """2-D convolution (with implicit ReLU/BN fused for accounting)."""
+
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int | None = None  # default: 'same'-ish kernel//2
+
+    @property
+    def name(self) -> str:
+        return f"conv{self.kernel}x{self.kernel}/{self.out_channels}"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        pad = self.kernel // 2 if self.padding is None else self.padding
+        out_h = (height + 2 * pad - self.kernel) // self.stride + 1
+        out_w = (width + 2 * pad - self.kernel) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+    def parameters(self, input_shape: Shape) -> int:
+        in_channels = input_shape[0]
+        return self.out_channels * (in_channels * self.kernel**2 + 1)
+
+    def forward_flops(self, input_shape: Shape) -> int:
+        out = self.output_shape(input_shape)
+        return 2 * _volume(out) * input_shape[0] * self.kernel**2
+
+
+@dataclass(frozen=True)
+class Pool2D(Layer):
+    """Max/avg pooling."""
+
+    kernel: int
+    stride: int | None = None
+
+    @property
+    def name(self) -> str:
+        return f"pool{self.kernel}"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        stride = self.stride or self.kernel
+        return (channels, max(1, height // stride), max(1, width // stride))
+
+    def parameters(self, input_shape: Shape) -> int:
+        return 0
+
+    def forward_flops(self, input_shape: Shape) -> int:
+        return _volume(self.output_shape(input_shape)) * self.kernel**2
+
+
+@dataclass(frozen=True)
+class GlobalPool(Layer):
+    """Global average pooling to (channels,)."""
+
+    name = "globalpool"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (input_shape[0],)
+
+    def parameters(self, input_shape: Shape) -> int:
+        return 0
+
+    def forward_flops(self, input_shape: Shape) -> int:
+        return _volume(input_shape)
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully connected layer."""
+
+    out_features: int
+
+    @property
+    def name(self) -> str:
+        return f"fc{self.out_features}"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (self.out_features,)
+
+    def parameters(self, input_shape: Shape) -> int:
+        return self.out_features * (_volume(input_shape) + 1)
+
+    def forward_flops(self, input_shape: Shape) -> int:
+        return 2 * self.out_features * _volume(input_shape)
+
+    def intrinsic_parallelism(self, input_shape: Shape) -> float:
+        # A GEMV per sample: only batching supplies parallelism.
+        return float(self.out_features) / 64.0
+
+
+@dataclass(frozen=True)
+class LSTMStack(Layer):
+    """Stacked LSTM with projection (BigLSTM-style), unrolled.
+
+    Attributes:
+        hidden: Recurrent state width (8192 for BigLSTM).
+        projection: Projection width (1024).
+        layers: Stacked layers (2).
+        steps: Unroll length per sample.
+    """
+
+    hidden: int
+    projection: int
+    layers: int = 2
+    steps: int = 20
+
+    @property
+    def name(self) -> str:
+        return f"lstm{self.layers}x{self.hidden}"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (self.projection,)
+
+    def parameters(self, input_shape: Shape) -> int:
+        input_width = _volume(input_shape)
+        total = 0
+        width = input_width
+        for _ in range(self.layers):
+            gates = 4 * self.hidden * (width + self.projection + 1)
+            project = self.hidden * self.projection
+            total += gates + project
+            width = self.projection
+        return total
+
+    def forward_flops(self, input_shape: Shape) -> int:
+        return 2 * self.parameters(input_shape) * self.steps
+
+    def activation_elements(self, input_shape: Shape) -> int:
+        per_step = self.layers * (4 * self.hidden + self.projection)
+        return per_step * self.steps
+
+    def intrinsic_parallelism(self, input_shape: Shape) -> float:
+        # Recurrent steps serialise; the batch is the parallel axis.
+        return float(self.hidden) / 256.0
+
+
+@dataclass(frozen=True)
+class RecurrentDense(Layer):
+    """A dense head applied at every unroll step (LSTM softmax).
+
+    BigLSTM's (sampled-)softmax logits are produced per step; their
+    activations dominate the network's batch-scaling footprint.
+    """
+
+    out_features: int
+    steps: int = 20
+
+    @property
+    def name(self) -> str:
+        return f"rfc{self.out_features}x{self.steps}"
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (self.out_features,)
+
+    def parameters(self, input_shape: Shape) -> int:
+        return self.out_features * (_volume(input_shape) + 1)
+
+    def forward_flops(self, input_shape: Shape) -> int:
+        return 2 * self.out_features * _volume(input_shape) * self.steps
+
+    def activation_elements(self, input_shape: Shape) -> int:
+        return self.out_features * self.steps
+
+    def intrinsic_parallelism(self, input_shape: Shape) -> float:
+        return float(self.out_features) * self.steps / 64.0

@@ -1,0 +1,79 @@
+"""Training memory footprint vs mini-batch size (Fig. 13a).
+
+The footprint has a batch-independent part — weights, weight
+gradients, solver momentum — and a part that scales with the
+mini-batch: activations (and their diffs, under Caffe) plus framework
+workspace.  The transition point where the batch-dependent part takes
+over is late for parameter-heavy AlexNet (batch ~96) and early
+(<= 32) for the activation-heavy CNNs, exactly Fig. 13a's shape.
+"""
+
+from __future__ import annotations
+
+from repro.dlmodel.networks import Network, build_network
+from repro.units import GIB, MIB
+
+BYTES_PER_ELEMENT = 4  # fp32 training
+
+#: Weights + weight gradients + SGD momentum.
+PARAMETER_COPIES = 3
+
+#: Fixed framework overhead (CUDA context, cuDNN handles, pools).
+FRAMEWORK_OVERHEAD_BYTES = 600 * MIB
+
+#: Per-sample workspace factor (im2col / cuDNN scratch) relative to
+#: the largest layer activation.
+WORKSPACE_FACTOR = 3.5
+
+#: Titan Xp device memory, the paper's measurement GPU.
+TITAN_XP_BYTES = 12 * GIB
+
+
+def footprint_bytes(network: Network | str, batch_size: int) -> int:
+    """Device bytes needed to train ``network`` at ``batch_size``."""
+    if isinstance(network, str):
+        network = build_network(network)
+    if batch_size < 1:
+        raise ValueError(f"batch size {batch_size} must be positive")
+    parameters = network.parameter_count * BYTES_PER_ELEMENT * PARAMETER_COPIES
+    activations = (
+        network.activation_elements_per_sample * BYTES_PER_ELEMENT * batch_size
+    )
+    if network.stores_diffs:
+        activations *= 2  # Caffe keeps a diff blob per data blob
+    largest = max(
+        (l.activation_elements(s) for l, s, _ in network.walk()), default=0
+    )
+    workspace = int(largest * BYTES_PER_ELEMENT * WORKSPACE_FACTOR * batch_size)
+    return parameters + activations + workspace + FRAMEWORK_OVERHEAD_BYTES
+
+
+def max_batch_size(
+    network: Network | str, device_bytes: int = TITAN_XP_BYTES
+) -> int:
+    """Largest mini-batch that fits in ``device_bytes``."""
+    if isinstance(network, str):
+        network = build_network(network)
+    low, high = 0, 1
+    while footprint_bytes(network, max(high, 1)) <= device_bytes and high < 1 << 20:
+        low, high = high, high * 2
+    if low == 0:
+        return 0
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if footprint_bytes(network, mid) <= device_bytes:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def transition_batch(network: Network | str) -> int:
+    """Batch size where activations overtake the parameter copies."""
+    if isinstance(network, str):
+        network = build_network(network)
+    fixed = network.parameter_count * PARAMETER_COPIES
+    per_sample = network.activation_elements_per_sample
+    if network.stores_diffs:
+        per_sample *= 2
+    return max(1, fixed // max(per_sample, 1))

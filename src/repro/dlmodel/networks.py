@@ -1,0 +1,214 @@
+"""The six Table 1 DL training workloads as layer stacks.
+
+Architectures follow the published definitions (AlexNet, VGG16,
+ResNet-50, Inception v2, SqueezeNet v1.1, BigLSTM); residual and
+inception blocks are flattened into their constituent convolutions,
+which preserves parameter counts, FLOPs and activation volumes — all
+the analytical models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dlmodel.layers import (
+    Conv2D,
+    Dense,
+    GlobalPool,
+    Layer,
+    LSTMStack,
+    Pool2D,
+    RecurrentDense,
+    Shape,
+)
+
+
+@dataclass
+class Network:
+    """A network plus its per-sample accounting."""
+
+    name: str
+    input_shape: Shape
+    layers: list[Layer]
+    #: Caffe stores a diff blob for every data blob.
+    stores_diffs: bool = True
+
+    def walk(self):
+        """Yield (layer, input_shape, output_shape) through the net."""
+        shape = self.input_shape
+        for layer in self.layers:
+            out = layer.output_shape(shape)
+            yield layer, shape, out
+            shape = out
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(l.parameters(s) for l, s, _ in self.walk())
+
+    @property
+    def flops_per_sample(self) -> int:
+        """Forward FLOPs; training costs ~3x (fwd + 2x bwd)."""
+        return sum(l.forward_flops(s) for l, s, _ in self.walk())
+
+    @property
+    def activation_elements_per_sample(self) -> int:
+        return sum(l.activation_elements(s) for l, s, _ in self.walk())
+
+
+def _alexnet() -> Network:
+    return Network(
+        "AlexNet",
+        (3, 227, 227),
+        [
+            Conv2D(96, 11, stride=4, padding=0),
+            Pool2D(3, 2),
+            Conv2D(256, 5),
+            Pool2D(3, 2),
+            Conv2D(384, 3),
+            Conv2D(384, 3),
+            Conv2D(256, 3),
+            Pool2D(3, 2),
+            Dense(4096),
+            Dense(4096),
+            Dense(1000),
+        ],
+    )
+
+
+def _vgg16() -> Network:
+    layers: list[Layer] = []
+    for out_channels, repeats in ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3)):
+        layers.extend(Conv2D(out_channels, 3) for _ in range(repeats))
+        layers.append(Pool2D(2))
+    layers.extend([Dense(4096), Dense(4096), Dense(1000)])
+    return Network("VGG16", (3, 224, 224), layers)
+
+
+def _bottleneck(mid: int, out: int, stride: int = 1) -> list[Layer]:
+    """ResNet bottleneck: 1x1 down, 3x3, 1x1 up (+ skip accounting)."""
+    return [
+        Conv2D(mid, 1, padding=0),
+        Conv2D(mid, 3, stride=stride),
+        Conv2D(out, 1, padding=0),
+    ]
+
+
+def _resnet50() -> Network:
+    layers: list[Layer] = [Conv2D(64, 7, stride=2), Pool2D(3, 2)]
+    stages = (
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    )
+    for mid, out, blocks, stride in stages:
+        layers.extend(_bottleneck(mid, out, stride))
+        for _ in range(blocks - 1):
+            layers.extend(_bottleneck(mid, out))
+    layers.extend([GlobalPool(), Dense(1000)])
+    return Network("ResNet50", (3, 224, 224), layers)
+
+
+def _inception_block(sizes: tuple[int, ...]) -> list[Layer]:
+    """Flattened inception module: parallel branches as conv stack."""
+    one, three_reduce, three, double_reduce, double, pool_proj = sizes
+    return [
+        Conv2D(one, 1, padding=0),
+        Conv2D(three_reduce, 1, padding=0),
+        Conv2D(three, 3),
+        Conv2D(double_reduce, 1, padding=0),
+        Conv2D(double, 3),
+        Conv2D(pool_proj, 1, padding=0),
+    ]
+
+
+def _inception_v2() -> Network:
+    layers: list[Layer] = [
+        Conv2D(64, 7, stride=2),
+        Pool2D(3, 2),
+        Conv2D(64, 1, padding=0),
+        Conv2D(192, 3),
+        Pool2D(3, 2),
+    ]
+    for sizes in (
+        (64, 64, 64, 64, 96, 32),
+        (64, 64, 96, 64, 96, 64),
+    ):
+        layers.extend(_inception_block(sizes))
+    layers.append(Pool2D(3, 2))
+    for sizes in (
+        (224, 64, 96, 96, 128, 128),
+        (192, 96, 128, 96, 128, 128),
+        (160, 128, 160, 128, 160, 96),
+        (96, 128, 192, 160, 192, 96),
+    ):
+        layers.extend(_inception_block(sizes))
+    layers.append(Pool2D(3, 2))
+    for sizes in (
+        (352, 192, 320, 160, 224, 128),
+        (352, 192, 320, 192, 224, 128),
+    ):
+        layers.extend(_inception_block(sizes))
+    layers.extend([GlobalPool(), Dense(1000)])
+    return Network("Inception_V2", (3, 224, 224), layers)
+
+
+def _fire(squeeze: int, expand: int) -> list[Layer]:
+    """SqueezeNet fire module (flattened)."""
+    return [
+        Conv2D(squeeze, 1, padding=0),
+        Conv2D(expand, 1, padding=0),
+        Conv2D(expand, 3),
+    ]
+
+
+def _squeezenet() -> Network:
+    layers: list[Layer] = [Conv2D(64, 3, stride=2, padding=0), Pool2D(3, 2)]
+    layers.extend(_fire(16, 64))
+    layers.extend(_fire(16, 64))
+    layers.append(Pool2D(3, 2))
+    layers.extend(_fire(32, 128))
+    layers.extend(_fire(32, 128))
+    layers.append(Pool2D(3, 2))
+    layers.extend(_fire(48, 192))
+    layers.extend(_fire(48, 192))
+    layers.extend(_fire(64, 256))
+    layers.extend(_fire(64, 256))
+    layers.append(Conv2D(1000, 1, padding=0))
+    layers.append(GlobalPool())
+    return Network("SqueezeNet", (3, 227, 227), layers)
+
+
+def _biglstm() -> Network:
+    """BigLSTM: 2-layer LSTM, 8192 hidden + 1024 projection, large
+    (sampled-softmax) vocabulary."""
+    return Network(
+        "BigLSTM",
+        (1024,),  # embedded token width
+        [
+            LSTMStack(hidden=8192, projection=1024, layers=2, steps=32),
+            # Sampled-softmax shortlist logits, emitted every step:
+            # these activations dominate the batch-dependent footprint
+            # and are why BigLSTM cannot fit a 64 mini-batch in 12 GB.
+            RecurrentDense(262144, steps=32),
+        ],
+    )
+
+
+NETWORK_BUILDERS = {
+    "AlexNet": _alexnet,
+    "VGG16": _vgg16,
+    "ResNet50": _resnet50,
+    "Inception_V2": _inception_v2,
+    "SqueezeNet": _squeezenet,
+    "BigLSTM": _biglstm,
+}
+
+
+def build_network(name: str) -> Network:
+    """Build one of the six DL workloads by (catalog) name."""
+    try:
+        return NETWORK_BUILDERS[name]()
+    except KeyError:
+        known = ", ".join(sorted(NETWORK_BUILDERS))
+        raise KeyError(f"unknown network {name!r}; known: {known}") from None

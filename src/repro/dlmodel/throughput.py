@@ -1,0 +1,70 @@
+"""Training throughput vs mini-batch size (Fig. 13b).
+
+An analytical model in the Paleo / DeLTA family: each layer's time is
+the larger of its compute time (FLOPs over peak throughput, scaled by
+a utilisation factor that grows with available parallelism) and its
+memory time (bytes over device bandwidth).  Larger mini-batches raise
+utilisation — strongly for GEMM-on-batch layers (fully connected,
+LSTM), weakly for convolutions that already parallelise over pixels —
+and throughput plateaus once the GPU saturates, exactly the Fig. 13b
+shape.
+"""
+
+from __future__ import annotations
+
+from repro.dlmodel.layers import _volume
+from repro.dlmodel.memory import BYTES_PER_ELEMENT
+from repro.dlmodel.networks import Network, build_network
+
+#: P100-class training rates (effective, fp32).
+PEAK_FLOPS = 9.5e12
+DEVICE_BANDWIDTH = 700e9  # sustained
+
+#: Backward pass costs roughly twice the forward pass.
+TRAINING_FLOP_FACTOR = 3.0
+
+#: Parallel work (warp-equivalents) needed to saturate the GPU.
+SATURATION_PARALLELISM = 4096.0
+
+#: Fixed per-iteration overhead (launch, solver update), seconds.
+ITERATION_OVERHEAD_S = 1.2e-3
+
+
+def iteration_time_s(network: Network | str, batch_size: int) -> float:
+    """Seconds per training iteration at a mini-batch size."""
+    if isinstance(network, str):
+        network = build_network(network)
+    if batch_size < 1:
+        raise ValueError(f"batch size {batch_size} must be positive")
+    total = ITERATION_OVERHEAD_S
+    for layer, in_shape, out_shape in network.walk():
+        flops = layer.forward_flops(in_shape) * TRAINING_FLOP_FACTOR * batch_size
+        parallelism = layer.intrinsic_parallelism(in_shape) * batch_size / 32.0
+        utilisation = parallelism / (parallelism + SATURATION_PARALLELISM)
+        compute = flops / (PEAK_FLOPS * max(utilisation, 1e-3))
+        moved = (
+            (layer.activation_elements(in_shape) * batch_size * 3
+             + layer.parameters(in_shape) * 3)
+            * BYTES_PER_ELEMENT
+        )
+        memory = moved / DEVICE_BANDWIDTH
+        total += max(compute, memory)
+    return total
+
+
+def images_per_second(network: Network | str, batch_size: int) -> float:
+    """Training throughput in samples per second."""
+    return batch_size / iteration_time_s(network, batch_size)
+
+
+def speedup_vs_batch(
+    network: Network | str, batch_sizes=(16, 32, 64, 128, 256), base: int = 16
+) -> dict[int, float]:
+    """Fig. 13b: throughput speedup relative to a small batch."""
+    if isinstance(network, str):
+        network = build_network(network)
+    baseline = images_per_second(network, base)
+    return {
+        batch: images_per_second(network, batch) / baseline
+        for batch in batch_sizes
+    }

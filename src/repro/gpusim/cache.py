@@ -1,0 +1,86 @@
+"""Sectored set-associative cache model.
+
+Both L1 and L2 use 128 B lines with 32 B sector validity, matching the
+paper's hierarchy.  A lookup hits only if every requested sector is
+present; fills may populate single sectors (the uncompressed baseline)
+or whole lines (compressed fills, which is the over-fetch effect
+Section 4.2 discusses).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.units import SECTORS_PER_ENTRY
+
+FULL_MASK = (1 << SECTORS_PER_ENTRY) - 1
+
+
+class SectoredCache:
+    """LRU, set-associative, sectored cache.
+
+    Args:
+        capacity_bytes: Total data capacity.
+        ways: Associativity.
+        line_bytes: Line size (128 B throughout the paper).
+    """
+
+    def __init__(self, capacity_bytes: int, ways: int, line_bytes: int = 128):
+        lines = max(1, capacity_bytes // line_bytes)
+        self.ways = min(ways, lines)
+        self.sets = max(1, lines // self.ways)
+        self.line_bytes = line_bytes
+        # per set: OrderedDict tag -> [sector_mask, dirty] (LRU first)
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.sets, line // self.sets
+
+    def lookup(self, address: int, sector_mask: int) -> bool:
+        """Probe for all sectors in ``sector_mask``; updates LRU."""
+        index, tag = self._locate(address)
+        entry = self._sets[index].get(tag)
+        if entry is not None and (entry[0] & sector_mask) == sector_mask:
+            self._sets[index].move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, address: int, sector_mask: int, dirty: bool = False):
+        """Install sectors; returns evicted (address, dirty) or None."""
+        index, tag = self._locate(address)
+        ways = self._sets[index]
+        entry = ways.get(tag)
+        if entry is not None:
+            entry[0] |= sector_mask
+            entry[1] = entry[1] or dirty
+            ways.move_to_end(tag)
+            return None
+        evicted = None
+        if len(ways) >= self.ways:
+            old_tag, old_entry = ways.popitem(last=False)
+            if old_entry[1]:
+                evicted = ((old_tag * self.sets + index) * self.line_bytes, True)
+        ways[tag] = [sector_mask, dirty]
+        return evicted
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+def sector_mask(first_sector: int, count: int) -> int:
+    """Bit mask for ``count`` sectors starting at ``first_sector``."""
+    if not 0 <= first_sector < SECTORS_PER_ENTRY:
+        raise ValueError(f"first sector {first_sector} outside line")
+    count = min(count, SECTORS_PER_ENTRY - first_sector)
+    return ((1 << count) - 1) << first_sector

@@ -1,0 +1,140 @@
+"""Per-entry compression state for the memory pipeline.
+
+The simulator needs, for every 128 B line, how many sectors the entry
+compresses to, whether it fits its allocation's device budget, and how
+many sectors overflow to buddy-memory.  The state is built from the
+same calibrated snapshots the static studies use: entry classes map to
+compressed sector counts (validated against the BPC codec by the
+workload tests), and the allocation's annotated target supplies the
+device budget.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.entry import TargetRatio
+from repro.units import MEMORY_ENTRY_BYTES, SECTOR_BYTES, ZERO_CLASS_BYTES
+from repro.workloads.snapshots import MemorySnapshot
+from repro.workloads.valuemodels import EntryClass, nominal_sectors_for
+
+
+class CompressionMode(enum.Enum):
+    """Fig. 11's three memory-system configurations."""
+
+    IDEAL = "ideal"  # uncompressed, unlimited-capacity baseline
+    BANDWIDTH = "bandwidth"  # L2<->DRAM link compression only
+    BUDDY = "buddy"  # full Buddy Compression
+
+
+class CompressionState:
+    """Vectorised per-entry compression facts for one placed benchmark.
+
+    Attributes:
+        mode: Active compression mode.
+        sectors: ``(n,)`` compressed sectors per entry (1..4).
+        budgets: ``(n,)`` device-resident sectors per entry (0 == 16x).
+        zero_fit: ``(n,)`` whether the entry fits the 8 B zero slot.
+        buddy_sectors: ``(n,)`` sectors fetched remotely per access.
+    """
+
+    def __init__(
+        self,
+        mode: CompressionMode,
+        sectors: np.ndarray,
+        budgets: np.ndarray,
+        zero_fit: np.ndarray,
+    ) -> None:
+        self.mode = mode
+        self.sectors = sectors.astype(np.int8)
+        self.budgets = budgets.astype(np.int8)
+        self.zero_fit = zero_fit.astype(bool)
+        overflow = np.maximum(0, self.sectors - np.maximum(self.budgets, 0))
+        # 16x entries that miss the 8 B slot fetch everything remotely.
+        in_zero_class = self.budgets == 0
+        overflow = np.where(
+            in_zero_class,
+            np.where(self.zero_fit, 0, self.sectors),
+            overflow,
+        )
+        self.buddy_sectors = overflow.astype(np.int8)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def ideal(cls, footprint_bytes: int) -> "CompressionState":
+        """Uncompressed baseline covering a footprint."""
+        n = max(1, footprint_bytes // MEMORY_ENTRY_BYTES)
+        return cls(
+            CompressionMode.IDEAL,
+            np.full(n, 4, dtype=np.int8),
+            np.full(n, 4, dtype=np.int8),
+            np.zeros(n, dtype=bool),
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: MemorySnapshot,
+        selection: dict[str, TargetRatio],
+        mode: CompressionMode = CompressionMode.BUDDY,
+    ) -> "CompressionState":
+        """Build from a memory snapshot plus a target selection.
+
+        In ``BANDWIDTH`` mode targets are ignored (every entry is
+        device-resident, compression only shrinks transfers).
+        """
+        sectors = []
+        budgets = []
+        zero_fit = []
+        for alloc in snapshot.allocations:
+            classes = alloc.classes
+            sectors.append(nominal_sectors_for(classes))
+            zero_fit.append(
+                (classes == EntryClass.ZERO) | (classes == EntryClass.CONST)
+            )
+            if mode is CompressionMode.BUDDY:
+                target = selection[alloc.name]
+                budget = 0 if target is TargetRatio.X16 else target.device_sectors
+            else:
+                budget = 4
+            budgets.append(np.full(classes.size, budget, dtype=np.int8))
+        return cls(
+            mode,
+            np.concatenate(sectors),
+            np.concatenate(budgets),
+            np.concatenate(zero_fit),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> int:
+        return int(self.sectors.size)
+
+    def entry_of(self, address: int) -> int:
+        return (address // MEMORY_ENTRY_BYTES) % self.entries
+
+    def device_transfer_bytes(self, entry: int) -> int:
+        """Bytes moved over DRAM pins when filling this entry's line."""
+        if self.mode is CompressionMode.IDEAL:
+            return MEMORY_ENTRY_BYTES
+        sectors = int(self.sectors[entry])
+        if self.mode is CompressionMode.BANDWIDTH:
+            return sectors * SECTOR_BYTES
+        budget = int(self.budgets[entry])
+        if budget == 0:
+            return ZERO_CLASS_BYTES
+        return min(sectors, budget) * SECTOR_BYTES
+
+    def buddy_transfer_bytes(self, entry: int) -> int:
+        """Bytes fetched over the interconnect for this entry."""
+        if self.mode is not CompressionMode.BUDDY:
+            return 0
+        return int(self.buddy_sectors[entry]) * SECTOR_BYTES
+
+    def buddy_access_fraction(self) -> float:
+        """Fraction of entries requiring any buddy traffic."""
+        if self.mode is not CompressionMode.BUDDY or self.entries == 0:
+            return 0.0
+        return float((self.buddy_sectors > 0).mean())

@@ -1,0 +1,86 @@
+"""Warp-instruction trace intermediate representation.
+
+The paper drives its simulator with SASS traces of 1–9 billion warp
+instructions; we use the same shape at reduced length.  A trace is a
+set of per-warp instruction streams over three operations:
+
+* ``COMPUTE n`` — n back-to-back arithmetic instructions;
+* ``LOAD addr sectors`` — a coalesced global load touching
+  ``sectors`` 32 B sectors of the 128 B line at ``addr``;
+* ``STORE addr sectors`` — a global store (fire-and-forget through
+  the write buffer).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Op(enum.IntEnum):
+    COMPUTE = 0
+    LOAD = 1
+    STORE = 2
+
+
+@dataclass
+class WarpTrace:
+    """One warp's instruction stream.
+
+    Attributes:
+        sm: Home SM index.
+        instructions: List of ``(op, operand_a, operand_b)`` tuples:
+            ``(COMPUTE, n, 0)``, ``(LOAD, address, sectors)`` or
+            ``(STORE, address, sectors)``.
+        max_outstanding: Loads in flight before the warp stalls —
+            the memory-level parallelism the kernel's independent
+            instructions allow (latency-sensitive kernels have 1).
+    """
+
+    sm: int
+    instructions: list[tuple[int, int, int]]
+    max_outstanding: int = 4
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(
+            instr[1] if instr[0] == Op.COMPUTE else 1
+            for instr in self.instructions
+        )
+
+
+@dataclass
+class KernelTrace:
+    """A traced kernel: all warps plus address-space metadata."""
+
+    benchmark: str
+    warps: list[WarpTrace]
+    footprint_bytes: int
+    #: Address ranges per allocation: name -> (start, end) byte offsets.
+    allocation_ranges: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Fraction of accesses that natively target host memory
+    #: (FF_HPGMG's synchronous copies) — served over the link even
+    #: without compression.
+    host_traffic_fraction: float = 0.0
+
+    @property
+    def warp_count(self) -> int:
+        return len(self.warps)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(w.instruction_count for w in self.warps)
+
+    @property
+    def memory_instruction_count(self) -> int:
+        return sum(
+            sum(1 for i in w.instructions if i[0] != Op.COMPUTE)
+            for w in self.warps
+        )
+
+    def allocation_of(self, address: int) -> str:
+        """Name of the allocation owning a byte address."""
+        for name, (start, end) in self.allocation_ranges.items():
+            if start <= address < end:
+                return name
+        raise KeyError(f"address {address:#x} outside all allocations")

@@ -1,0 +1,245 @@
+"""Benchmark catalog (paper Table 1) plus per-benchmark character.
+
+The catalog records the published footprints and, for the performance
+studies, the *memory-access character* of each benchmark that the
+paper's Section 4 discusses qualitatively: DL training kernels are
+streaming and fully coalesced; 354.cg and 360.ilbdc are random-gather
+codes that touch single sectors; FF_Lulesh is latency-sensitive;
+FF_HPGMG performs synchronous host copies in its native form.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.units import GB, MB
+
+
+class Suite(enum.Enum):
+    """Benchmark suite groupings used throughout the evaluation."""
+
+    HPC_SPECACCEL = "SpecAccel"
+    HPC_FASTFORWARD = "FastForward"
+    DL_TRAINING = "DL"
+
+    @property
+    def is_hpc(self) -> bool:
+        return self is not Suite.DL_TRAINING
+
+
+class AccessPattern(enum.Enum):
+    """Dominant device-memory access pattern of the traced kernel."""
+
+    STREAMING = "streaming"  # unit-stride, fully coalesced (DL GEMMs)
+    STRIDED = "strided"  # regular but partially coalesced stencils
+    RANDOM = "random"  # gather/scatter touching single sectors
+
+
+@dataclass(frozen=True)
+class TraceCharacter:
+    """Parameters steering the synthetic trace generator.
+
+    Attributes:
+        pattern: Dominant address pattern.
+        sectors_per_access: Average 32 B sectors touched per warp
+            memory instruction (4 = fully coalesced 128 B).
+        compute_per_memory: Arithmetic instructions per memory
+            instruction (higher = less bandwidth-bound).
+        load_fraction: Fraction of memory instructions that are loads.
+        working_set_fraction: Fraction of the footprint the traced
+            kernel touches (hot set).
+        latency_sensitivity: 0..1; how exposed the kernel is to added
+            memory latency (FF_Lulesh is the paper's example).
+        host_traffic_fraction: Fraction of memory traffic that goes to
+            host memory even without compression (FF_HPGMG's native
+            synchronous copies).
+    """
+
+    pattern: AccessPattern
+    sectors_per_access: float
+    compute_per_memory: float
+    load_fraction: float = 0.7
+    working_set_fraction: float = 0.5
+    latency_sensitivity: float = 0.2
+    host_traffic_fraction: float = 0.0
+    stride_entries: int = 3
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One Table 1 benchmark."""
+
+    name: str
+    suite: Suite
+    footprint_bytes: int
+    description: str
+    character: TraceCharacter
+
+    @property
+    def is_hpc(self) -> bool:
+        return self.suite.is_hpc
+
+
+def _hpc(pattern: AccessPattern, sectors: float, compute: float, **kw) -> TraceCharacter:
+    return TraceCharacter(pattern, sectors, compute, **kw)
+
+
+#: Table 1, in paper order, with Section-4 character annotations.
+ALL_BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark(
+        "351.palm",
+        Suite.HPC_SPECACCEL,
+        int(2.89 * GB),
+        "Large-eddy atmospheric simulation (PALM)",
+        _hpc(AccessPattern.STRIDED, 3.2, 15.0, working_set_fraction=0.8,
+             latency_sensitivity=0.25, stride_entries=16),
+    ),
+    Benchmark(
+        "352.ep",
+        Suite.HPC_SPECACCEL,
+        int(2.75 * GB),
+        "Embarrassingly parallel random-number kernel (NAS EP)",
+        _hpc(AccessPattern.STREAMING, 4.0, 28.0, working_set_fraction=0.35,
+             latency_sensitivity=0.1),
+    ),
+    Benchmark(
+        "354.cg",
+        Suite.HPC_SPECACCEL,
+        int(1.23 * GB),
+        "Conjugate gradient, sparse matrix-vector (NAS CG)",
+        _hpc(AccessPattern.RANDOM, 1.1, 3.0, working_set_fraction=0.7,
+             latency_sensitivity=0.35),
+    ),
+    Benchmark(
+        "355.seismic",
+        Suite.HPC_SPECACCEL,
+        int(2.83 * GB),
+        "Seismic wave propagation",
+        _hpc(AccessPattern.STRIDED, 3.6, 15.0, working_set_fraction=0.85,
+             latency_sensitivity=0.15, stride_entries=16),
+    ),
+    Benchmark(
+        "356.sp",
+        Suite.HPC_SPECACCEL,
+        int(2.83 * GB),
+        "Scalar penta-diagonal solver (NAS SP)",
+        _hpc(AccessPattern.STRIDED, 3.0, 11.0, working_set_fraction=0.8,
+             latency_sensitivity=0.25),
+    ),
+    Benchmark(
+        "357.csp",
+        Suite.HPC_SPECACCEL,
+        int(1.44 * GB),
+        "C version of the SP solver",
+        _hpc(AccessPattern.STRIDED, 3.0, 13.5, working_set_fraction=0.75,
+             latency_sensitivity=0.25),
+    ),
+    Benchmark(
+        "360.ilbdc",
+        Suite.HPC_SPECACCEL,
+        int(1.94 * GB),
+        "Lattice-Boltzmann flow solver (list-based)",
+        _hpc(AccessPattern.RANDOM, 1.2, 2.5, working_set_fraction=0.95,
+             latency_sensitivity=0.3),
+    ),
+    Benchmark(
+        "370.bt",
+        Suite.HPC_SPECACCEL,
+        int(1.21 * MB),
+        "Block tri-diagonal solver (NAS BT)",
+        _hpc(AccessPattern.STRIDED, 2.8, 11.0, working_set_fraction=0.9,
+             latency_sensitivity=0.25),
+    ),
+    Benchmark(
+        "FF_HPGMG",
+        Suite.HPC_FASTFORWARD,
+        int(2.32 * GB),
+        "High-performance geometric multigrid (finite volume)",
+        _hpc(AccessPattern.STRIDED, 2.6, 8.0, working_set_fraction=0.7,
+             latency_sensitivity=0.3, host_traffic_fraction=0.06,
+             stride_entries=5),
+    ),
+    Benchmark(
+        "FF_Lulesh",
+        Suite.HPC_FASTFORWARD,
+        int(1.59 * GB),
+        "Unstructured shock hydrodynamics proxy app",
+        _hpc(AccessPattern.STREAMING, 3.4, 9.0, working_set_fraction=0.75,
+             latency_sensitivity=0.85),
+    ),
+    Benchmark(
+        "BigLSTM",
+        Suite.DL_TRAINING,
+        int(2.71 * GB),
+        "2-layer LSTM language model, 8192+1024 recurrent state",
+        _hpc(AccessPattern.STREAMING, 4.0, 12.0, working_set_fraction=0.6,
+             latency_sensitivity=0.1),
+    ),
+    Benchmark(
+        "AlexNet",
+        Suite.DL_TRAINING,
+        int(8.85 * GB),
+        "CNN, ImageNet training under Caffe",
+        _hpc(AccessPattern.STREAMING, 4.0, 11.0, working_set_fraction=0.55,
+             latency_sensitivity=0.1),
+    ),
+    Benchmark(
+        "Inception_V2",
+        Suite.DL_TRAINING,
+        int(3.21 * GB),
+        "CNN, ImageNet training under Caffe",
+        _hpc(AccessPattern.STREAMING, 4.0, 12.5, working_set_fraction=0.55,
+             latency_sensitivity=0.1),
+    ),
+    Benchmark(
+        "SqueezeNet",
+        Suite.DL_TRAINING,
+        int(2.03 * GB),
+        "SqueezeNet v1.1, ImageNet training under Caffe",
+        _hpc(AccessPattern.STREAMING, 4.0, 11.5, working_set_fraction=0.6,
+             latency_sensitivity=0.1),
+    ),
+    Benchmark(
+        "VGG16",
+        Suite.DL_TRAINING,
+        int(11.08 * GB),
+        "CNN, ImageNet training under Caffe",
+        _hpc(AccessPattern.STREAMING, 4.0, 13.0, working_set_fraction=0.5,
+             latency_sensitivity=0.1),
+    ),
+    Benchmark(
+        "ResNet50",
+        Suite.DL_TRAINING,
+        int(4.50 * GB),
+        "CNN, ImageNet training under Caffe",
+        _hpc(AccessPattern.STREAMING, 4.0, 12.0, working_set_fraction=0.55,
+             latency_sensitivity=0.1),
+    ),
+)
+
+HPC_BENCHMARKS: tuple[Benchmark, ...] = tuple(
+    b for b in ALL_BENCHMARKS if b.is_hpc
+)
+DL_BENCHMARKS: tuple[Benchmark, ...] = tuple(
+    b for b in ALL_BENCHMARKS if not b.is_hpc
+)
+
+_BY_NAME = {b.name: b for b in ALL_BENCHMARKS}
+
+#: Aliases accepted by :func:`get_benchmark` (paper uses both spellings).
+_ALIASES = {
+    "FF_HPGMG-FV": "FF_HPGMG",
+    "SqueezeNetv1.1": "SqueezeNet",
+    "Inception V2": "Inception_V2",
+}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by name (paper spellings accepted)."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _BY_NAME[canonical]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

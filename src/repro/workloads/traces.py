@@ -1,0 +1,195 @@
+"""Synthetic warp-instruction trace generator.
+
+Builds :class:`repro.gpusim.trace.KernelTrace` objects whose memory
+behaviour matches each benchmark's published character (see
+:class:`repro.workloads.catalog.TraceCharacter`): DL training kernels
+stream fully coalesced GEMM tiles; 354.cg and 360.ilbdc gather single
+sectors at random; stencil codes stride with partial coalescing;
+FF_HPGMG issues a share of native host-memory copies; FF_Lulesh has
+little memory-level parallelism and is exposed to added latency.
+
+Addresses fall inside the same scaled allocation layout the snapshot
+generator produces, so the compression state (entry sectors, buddy
+overflow) lines up entry-for-entry with the static studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_lib
+from repro.gpusim.trace import KernelTrace, Op, WarpTrace
+from repro.units import MEMORY_ENTRY_BYTES, SECTOR_BYTES
+from repro.workloads.catalog import AccessPattern, get_benchmark
+from repro.workloads.snapshots import MemorySnapshot, SnapshotConfig, generate_snapshot
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Trace-generation knobs.
+
+    Attributes:
+        sm_count: SMs to spread warps over (must match the simulator).
+        warps_per_sm: Resident warps per SM.
+        memory_instructions_per_warp: Loads+stores per warp.
+        snapshot_config: Scaling used for the address space (must
+            match the snapshot the compression state is built from).
+        snapshot_index: Which dump supplies the allocation layout.
+        seed: RNG seed.
+    """
+
+    sm_count: int = 16
+    warps_per_sm: int = 32
+    memory_instructions_per_warp: int = 96
+    snapshot_config: SnapshotConfig = SnapshotConfig(scale=1.0 / 2048)
+    snapshot_index: int = 5
+    seed: int = rng_lib.DEFAULT_SEED
+
+
+def layout_snapshot(benchmark: str, config: TraceConfig) -> MemorySnapshot:
+    """The snapshot supplying the allocation layout for a trace."""
+    return generate_snapshot(
+        benchmark, config.snapshot_index, config.snapshot_config
+    )
+
+
+def generate_trace(
+    benchmark: str, config: TraceConfig | None = None
+) -> KernelTrace:
+    """Generate the dominant-kernel trace of a benchmark."""
+    config = config or TraceConfig()
+    bench = get_benchmark(benchmark)
+    character = bench.character
+    snapshot = layout_snapshot(bench.name, config)
+    footprint = snapshot.footprint_bytes
+    rng = rng_lib.generator(f"trace/{bench.name}", config.seed)
+
+    ranges = {}
+    cursor = 0
+    for alloc in snapshot.allocations:
+        ranges[alloc.name] = (cursor, cursor + alloc.bytes)
+        cursor += alloc.bytes
+
+    total_warps = config.sm_count * config.warps_per_sm
+    hot_map = _hot_entry_map(snapshot, character.working_set_fraction)
+    # Low MLP for latency-sensitive kernels (FF_Lulesh), high for
+    # throughput kernels that cover latency with independent loads.
+    max_outstanding = max(1, round(12 * (1.0 - character.latency_sensitivity)))
+
+    warps = []
+    for warp_index in range(total_warps):
+        instructions = _warp_stream(
+            warp_index, total_warps, footprint, hot_map, character,
+            config, rng,
+        )
+        warps.append(
+            WarpTrace(
+                sm=warp_index % config.sm_count,
+                instructions=instructions,
+                max_outstanding=max_outstanding,
+            )
+        )
+    return KernelTrace(
+        benchmark=bench.name,
+        warps=warps,
+        footprint_bytes=footprint,
+        allocation_ranges=ranges,
+        host_traffic_fraction=character.host_traffic_fraction,
+    )
+
+
+def _hot_entry_map(snapshot, working_set_fraction: float) -> np.ndarray:
+    """The kernel's hot set as an array of global entry indices.
+
+    Every allocation contributes chunks of consecutive entries sized
+    by ``fraction * access_weight``, so the dynamic access mix over
+    allocations reflects their access intensity (DL scratch buffers
+    are touched every layer; weight tensors are read once and cached)
+    while streaming locality within chunks is preserved.
+    """
+    weights = np.array(
+        [a.spec.fraction * a.spec.access_weight for a in snapshot.allocations]
+    )
+    weights = weights / weights.sum()
+    total_hot = max(
+        64, int(snapshot.entries * np.clip(working_set_fraction, 0.05, 1.0))
+    )
+    pieces = []
+    base = 0
+    for alloc, weight in zip(snapshot.allocations, weights):
+        n = alloc.entries
+        hot = min(n, max(4, int(round(total_hot * weight))))
+        # Evenly spaced chunks of consecutive entries inside the
+        # allocation keep DRAM row and metadata-line locality.
+        chunks = max(1, hot // 256)
+        chunk_len = hot // chunks
+        starts = np.linspace(0, max(n - chunk_len, 0), chunks).astype(np.int64)
+        for start in starts:
+            pieces.append(base + start + np.arange(chunk_len, dtype=np.int64))
+        base += n
+    hot_map = np.concatenate(pieces)
+    return hot_map
+
+
+def _warp_stream(
+    warp_index: int,
+    total_warps: int,
+    footprint: int,
+    hot_map: np.ndarray,
+    character,
+    config: TraceConfig,
+    rng: np.random.Generator,
+) -> list[tuple[int, int, int]]:
+    """One warp's instruction stream.
+
+    Streaming and strided kernels follow grid-stride loops — warp
+    ``w`` touches hot entries ``w, w+W, w+2W, ...`` — which is how
+    real GPU kernels cover large arrays and what gives them DRAM row
+    locality and shared metadata lines.
+    """
+    hot_entries = hot_map.size
+
+    count = config.memory_instructions_per_warp
+    is_load = rng.random(count) < character.load_fraction
+    host = rng.random(count) < character.host_traffic_fraction
+    compute = rng.poisson(character.compute_per_memory, count)
+
+    pattern = character.pattern
+    if pattern is AccessPattern.STREAMING:
+        indices = (np.arange(count) * total_warps + warp_index) % hot_entries
+        sectors = np.full(count, 4)
+        first = np.zeros(count, dtype=np.int64)
+    elif pattern is AccessPattern.STRIDED:
+        # Stencil sweep: grid-stride over a strided index space, with
+        # partially coalesced accesses.  The stride models the
+        # stencil's plane extent: wide-plane codes (351.palm,
+        # 355.seismic) revisit metadata lines far apart.
+        stride = character.stride_entries
+        indices = (
+            (np.arange(count) * total_warps + warp_index) * stride
+        ) % hot_entries
+        mean = character.sectors_per_access
+        sectors = np.clip(rng.poisson(mean, count), 1, 4)
+        first = rng.integers(0, 4, count)
+    else:  # RANDOM gather/scatter over the whole hot region
+        indices = rng.integers(0, hot_entries, count)
+        sectors = np.ones(count, dtype=np.int64)
+        first = rng.integers(0, 4, count)
+
+    entry_indices = hot_map[indices]
+    instructions: list[tuple[int, int, int]] = []
+    for i in range(count):
+        if compute[i] > 0:
+            instructions.append((int(Op.COMPUTE), int(compute[i]), 0))
+        entry = int(entry_indices[i])
+        address = entry * MEMORY_ENTRY_BYTES
+        sector_count = int(sectors[i])
+        first_sector = min(int(first[i]), 4 - sector_count)
+        address += first_sector * SECTOR_BYTES
+        if host[i]:
+            address += footprint  # the native host region
+        op = Op.LOAD if is_load[i] else Op.STORE
+        instructions.append((int(op), int(address), sector_count))
+    return instructions

@@ -1,0 +1,107 @@
+"""Tests for the analysis drivers and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compression_study import (
+    fig3_compression_ratios,
+    fig6_heatmap,
+    render_heatmap,
+    suite_gmean,
+)
+from repro.analysis.metadata_study import run_metadata_study
+from repro.analysis.perf_study import run_perf_study
+from repro.analysis.report import gmean, paper_vs_measured, table
+from repro.cli import main
+from repro.units import ENTRIES_PER_PAGE, KIB
+from repro.workloads.snapshots import SnapshotConfig
+from repro.workloads.traces import TraceConfig
+
+TINY = SnapshotConfig(scale=1.0 / 262144, min_footprint_bytes=256 * 1024)
+
+
+class TestReportHelpers:
+    def test_gmean(self):
+        assert gmean([2.0, 8.0]) == pytest.approx(4.0)
+        assert gmean([]) == 0.0
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+    def test_table_renders(self):
+        text = table(["a", "b"], [[1, 2], [30, 40]])
+        assert "a" in text and "40" in text
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([("ratio", 1.9, 1.95)])
+        assert "1.900" in text and "1.950" in text
+
+
+class TestCompressionStudy:
+    def test_fig3_subset(self):
+        rows = fig3_compression_ratios(["356.sp", "354.cg"], TINY)
+        by_name = {r.benchmark: r for r in rows}
+        assert by_name["356.sp"].mean_ratio > by_name["354.cg"].mean_ratio
+        assert len(by_name["356.sp"].per_snapshot) == 10
+
+    def test_suite_gmean_empty(self):
+        assert suite_gmean([], True) == 0.0
+
+    def test_fig6_heatmap_shape(self):
+        heatmap = fig6_heatmap("356.sp", config=TINY)
+        assert heatmap.shape[1] == ENTRIES_PER_PAGE
+        assert set(np.unique(heatmap)) <= {1, 2, 3, 4}
+
+    def test_render_heatmap(self):
+        heatmap = fig6_heatmap("354.cg", config=TINY)
+        text = render_heatmap(heatmap, max_rows=4)
+        assert len(text.splitlines()) <= 4
+        assert "#" in text  # cg is mostly incompressible
+
+
+class TestMetadataStudy:
+    def test_hit_rate_monotone(self):
+        trace_config = TraceConfig(
+            sm_count=4,
+            warps_per_sm=8,
+            memory_instructions_per_warp=24,
+            snapshot_config=SnapshotConfig(scale=1.0 / 8192),
+        )
+        rows = run_metadata_study(
+            ["VGG16"], sizes=(1 * KIB, 8 * KIB), trace_config=trace_config
+        )
+        rates = rows[0].hit_rates
+        assert rates[8 * KIB] >= rates[1 * KIB]
+
+
+class TestPerfStudySmall:
+    def test_subset_runs(self):
+        trace_config = TraceConfig(
+            sm_count=4,
+            warps_per_sm=8,
+            memory_instructions_per_warp=24,
+            snapshot_config=SnapshotConfig(scale=1.0 / 8192),
+        )
+        from repro.gpusim import scaled_config
+
+        result = run_perf_study(
+            benchmarks=["370.bt"],
+            config=scaled_config(sm_count=4, warps_per_sm=8),
+            trace_config=trace_config,
+            link_sweep=(150.0,),
+            profile_config=TINY,
+        )
+        row = result.per_benchmark[0]
+        assert row.benchmark == "370.bt"
+        assert row.bandwidth_only > 0
+        assert 150.0 in row.buddy
+
+
+class TestCLI:
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6", "354.cg"]) == 0
+        out = capsys.readouterr().out
+        assert "354.cg" in out

@@ -1,0 +1,176 @@
+"""Tests for the BDI / FPC / C-PACK comparison codecs and quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import (
+    BDICompressor,
+    CPackCompressor,
+    FPCCompressor,
+    quantize_free_size,
+    quantize_to_sectors,
+    sectors_for_sizes,
+    free_sizes_for_sizes,
+)
+from repro.compression.sectors import device_bytes_for_target, fits_zero_class
+from repro.compression.zeroblock import zero_fraction, zero_mask
+from repro.units import MEMORY_ENTRY_BYTES, WORDS_PER_ENTRY
+
+BDI = BDICompressor()
+FPC = FPCCompressor()
+CPACK = CPackCompressor()
+
+blocks_strategy = hnp.arrays(
+    np.uint32, (WORDS_PER_ENTRY,), elements=st.integers(0, 2**32 - 1)
+)
+small_blocks = hnp.arrays(
+    np.uint32, (WORDS_PER_ENTRY,), elements=st.integers(0, 300)
+)
+
+
+class TestBDI:
+    def test_zero_block(self):
+        assert BDI.compressed_size(np.zeros(32, dtype=np.uint32)) == 1
+
+    def test_repeated_block(self):
+        block = np.full(32, 0xCAFEBABE, dtype=np.uint32)
+        assert BDI.compressed_size(block) == 9
+
+    def test_base8_delta1(self):
+        base = np.uint64(0x1234_5678_9ABC_DEF0)
+        qwords = base + np.arange(16, dtype=np.uint64)
+        block = qwords.view(np.uint32)
+        # 1 header + 8 base + 16 deltas = 25
+        assert BDI.compressed_size(block) == 25
+
+    def test_incompressible(self):
+        rng = np.random.default_rng(5)
+        block = rng.integers(0, 2**32, 32, dtype=np.uint32)
+        assert BDI.compressed_size(block) == MEMORY_ENTRY_BYTES
+
+    @given(st.lists(st.one_of(blocks_strategy, small_blocks), min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_vectorised_matches_scalar(self, blocks):
+        stacked = np.stack(blocks)
+        expected = np.array([BDI.compressed_size(b) for b in blocks])
+        np.testing.assert_array_equal(BDI.compressed_sizes(stacked), expected)
+
+    @given(blocks_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_size_bounds(self, block):
+        size = BDI.compressed_size(block)
+        assert 1 <= size <= MEMORY_ENTRY_BYTES
+
+
+class TestFPC:
+    def test_zero_block_uses_runs(self):
+        # 32 zero words -> 4 run codes of 8 -> 24 bits -> 3 bytes
+        assert FPC.compressed_size(np.zeros(32, dtype=np.uint32)) == 3
+
+    def test_small_values(self):
+        block = np.arange(1, 33, dtype=np.uint32)  # 4-bit / 8-bit payloads
+        # 7 words fit 4-bit payloads (7 bits each), 25 need 8-bit (11 bits):
+        # 7*7 + 25*11 = 324 bits -> 41 bytes.
+        assert FPC.compressed_size(block) == 41
+
+    def test_incompressible(self):
+        rng = np.random.default_rng(6)
+        block = rng.integers(2**28, 2**32, 32, dtype=np.uint32)
+        # prefix overhead can exceed 128 B; size is capped
+        assert FPC.compressed_size(block) == MEMORY_ENTRY_BYTES
+
+    @given(st.lists(st.one_of(blocks_strategy, small_blocks), min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_vectorised_matches_scalar(self, blocks):
+        stacked = np.stack(blocks)
+        expected = np.array([FPC.compressed_size(b) for b in blocks])
+        np.testing.assert_array_equal(FPC.compressed_sizes(stacked), expected)
+
+
+class TestCPack:
+    def test_zero_block(self):
+        assert CPACK.compressed_size(np.zeros(32, dtype=np.uint32)) == 8
+
+    def test_repeated_word_hits_dictionary(self):
+        block = np.full(32, 0x11223344, dtype=np.uint32)
+        # first word unmatched (34 bits), the rest full matches (6 bits)
+        size = CPACK.compressed_size(block)
+        assert size == (34 + 31 * 6 + 7) // 8
+
+    def test_low_byte_words(self):
+        block = np.full(32, 0x7F, dtype=np.uint32)
+        assert CPACK.compressed_size(block) == (32 * 12 + 7) // 8
+
+    @given(blocks_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_size_bounds(self, block):
+        assert 1 <= CPACK.compressed_size(block) <= MEMORY_ENTRY_BYTES
+
+
+class TestQuantisation:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(0, 8), (1, 8), (8, 8), (9, 16), (17, 32), (33, 64), (65, 80), (81, 96), (97, 128), (128, 128)],
+    )
+    def test_free_sizes(self, size, expected):
+        assert quantize_free_size(size) == expected
+
+    def test_free_size_zero_block(self):
+        assert quantize_free_size(5, is_zero=True) == 0
+
+    def test_free_size_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantize_free_size(129)
+
+    @pytest.mark.parametrize(
+        "size,sectors", [(0, 1), (1, 1), (32, 1), (33, 2), (64, 2), (65, 3), (96, 3), (97, 4), (128, 4)]
+    )
+    def test_sector_quantisation(self, size, sectors):
+        assert quantize_to_sectors(size) == sectors
+
+    @given(st.lists(st.integers(0, 128), min_size=1, max_size=64))
+    def test_vectorised_sectors_match(self, sizes):
+        arr = np.array(sizes)
+        expected = np.array([quantize_to_sectors(s) for s in sizes])
+        np.testing.assert_array_equal(sectors_for_sizes(arr), expected)
+
+    @given(
+        st.lists(st.integers(0, 128), min_size=1, max_size=64),
+        st.data(),
+    )
+    def test_vectorised_free_sizes_match(self, sizes, data):
+        zeros = data.draw(
+            st.lists(st.booleans(), min_size=len(sizes), max_size=len(sizes))
+        )
+        arr = np.array(sizes)
+        mask = np.array(zeros)
+        expected = np.array(
+            [quantize_free_size(s, z) for s, z in zip(sizes, zeros)]
+        )
+        np.testing.assert_array_equal(free_sizes_for_sizes(arr, mask), expected)
+
+    def test_zero_class(self):
+        assert fits_zero_class(0) and fits_zero_class(8)
+        assert not fits_zero_class(9)
+        assert device_bytes_for_target(0) == 8
+        assert device_bytes_for_target(2) == 64
+        with pytest.raises(ValueError):
+            device_bytes_for_target(5)
+
+
+class TestZeroBlock:
+    def test_zero_mask(self):
+        blocks = np.zeros((4, 32), dtype=np.uint32)
+        blocks[2, 5] = 1
+        np.testing.assert_array_equal(zero_mask(blocks), [True, True, False, True])
+
+    def test_zero_fraction(self):
+        blocks = np.zeros((4, 32), dtype=np.uint32)
+        blocks[0, 0] = 9
+        assert zero_fraction(blocks) == pytest.approx(0.75)
+
+    def test_zero_fraction_empty(self):
+        assert zero_fraction(np.zeros((0, 32), dtype=np.uint32)) == 0.0

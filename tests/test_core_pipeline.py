@@ -1,0 +1,151 @@
+"""Tests for the profile -> targets -> evaluate pipeline (Figs. 7-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BuddyCompressor,
+    BuddyConfig,
+    profile_benchmark,
+    select_naive,
+    select_per_allocation,
+    selection_ratio,
+    apply_zero_page,
+)
+from repro.core.entry import TargetRatio
+from repro.core.targets import FINAL, NAIVE, PER_ALLOCATION, threshold_sweep
+from repro.workloads.snapshots import SnapshotConfig
+
+SMALL = SnapshotConfig(scale=1.0 / 262144, min_footprint_bytes=256 * 1024)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return BuddyCompressor(BuddyConfig(snapshot_config=SMALL))
+
+
+@pytest.fixture(scope="module")
+def sp_profile(engine):
+    return engine.profile("356.sp")
+
+
+@pytest.fixture(scope="module")
+def resnet_profile(engine):
+    return engine.profile("ResNet50")
+
+
+class TestProfiler:
+    def test_profile_covers_all_allocations(self, sp_profile):
+        names = {a.name for a in sp_profile.allocations}
+        assert names == {"solution", "rhs", "forcing", "lhs_work", "residuals"}
+
+    def test_histograms_per_snapshot(self, sp_profile):
+        alloc = sp_profile.allocation("solution")
+        assert len(alloc.per_snapshot) == 10
+        assert alloc.merged.total == sum(h.total for h in alloc.per_snapshot)
+
+    def test_unknown_allocation(self, sp_profile):
+        with pytest.raises(KeyError):
+            sp_profile.allocation("bogus")
+
+    def test_program_histogram_sums(self, sp_profile):
+        program = sp_profile.program_histogram()
+        assert program.total == sum(a.merged.total for a in sp_profile.allocations)
+
+
+class TestSelection:
+    def test_per_allocation_respects_threshold(self, sp_profile):
+        selection = select_per_allocation(sp_profile, threshold=0.30)
+        for alloc in sp_profile.allocations:
+            target = selection[alloc.name]
+            assert alloc.worst_overflow(target) <= 0.30
+
+    def test_incompressible_stays_1x(self, sp_profile):
+        selection = select_per_allocation(sp_profile)
+        assert selection["lhs_work"] is TargetRatio.X1
+
+    def test_compressible_gets_2x(self, sp_profile):
+        selection = select_per_allocation(sp_profile)
+        assert selection["solution"] is TargetRatio.X2
+
+    def test_naive_is_uniform(self, sp_profile):
+        selection = select_naive(sp_profile)
+        assert len(set(selection.values())) == 1
+
+    def test_higher_threshold_never_lowers_targets(self, resnet_profile):
+        sweep = threshold_sweep(resnet_profile, (0.10, 0.20, 0.30, 0.40))
+        order = list(sweep)
+        for alloc in resnet_profile.allocations:
+            ratios = [sweep[t][alloc.name].ratio for t in order]
+            assert ratios == sorted(ratios)
+
+    def test_zero_page_promotes_forcing(self, sp_profile):
+        base = select_per_allocation(sp_profile)
+        promoted = apply_zero_page(base, sp_profile)
+        assert promoted["forcing"] is TargetRatio.X16
+
+    def test_zero_page_respects_carve_out_cap(self, sp_profile):
+        base = select_per_allocation(sp_profile)
+        promoted = apply_zero_page(base, sp_profile, max_overall_ratio=4.0)
+        assert selection_ratio(promoted, sp_profile) <= 4.0
+
+    def test_zero_page_skips_unstable_allocations(self, engine):
+        """Seismic wavefields start zero but fill in: never 16x."""
+        profile = engine.profile("355.seismic")
+        base = select_per_allocation(profile)
+        promoted = apply_zero_page(base, profile)
+        assert promoted["wavefields"] is not TargetRatio.X16
+
+    def test_selection_ratio_bounds(self, sp_profile):
+        all_1x = {a.name: TargetRatio.X1 for a in sp_profile.allocations}
+        assert selection_ratio(all_1x, sp_profile) == pytest.approx(1.0)
+        all_4x = {a.name: TargetRatio.X4 for a in sp_profile.allocations}
+        assert selection_ratio(all_4x, sp_profile) == pytest.approx(4.0)
+
+
+class TestEvaluation:
+    def test_design_point_ordering_sp(self, engine, sp_profile):
+        """Fig. 7's core contract: naive < per-allocation <= final."""
+        results = {}
+        for design in (NAIVE, PER_ALLOCATION, FINAL):
+            selection = engine.select(sp_profile, design)
+            results[design.name] = engine.evaluate("356.sp", selection, design.name)
+        assert (
+            results["naive"].compression_ratio
+            < results["per-allocation"].compression_ratio
+            <= results["final"].compression_ratio
+        )
+        assert (
+            results["naive"].buddy_access_fraction
+            > results["final"].buddy_access_fraction
+        )
+
+    def test_resnet_traffic_is_stable_over_time(self, engine, resnet_profile):
+        """Fig. 8: buddy accesses stay roughly constant across dumps."""
+        selection = engine.select(resnet_profile, FINAL)
+        result = engine.evaluate("ResNet50", selection, "final")
+        fractions = [s.entry_fraction for s in result.per_snapshot]
+        assert max(fractions) - min(fractions) < 0.04
+
+    def test_hpc_traffic_below_dl(self, engine):
+        hpc = engine.run("356.sp", FINAL)
+        dl = engine.run("ResNet50", FINAL)
+        assert hpc.buddy_access_fraction < dl.buddy_access_fraction
+
+    def test_sector_fraction_at_most_entry_fraction_times_four(self, engine):
+        result = engine.run("ResNet50", FINAL)
+        assert result.buddy_sector_fraction <= 4 * result.buddy_access_fraction
+
+    def test_place_builds_layout(self, engine, resnet_profile):
+        selection = engine.select(resnet_profile, FINAL)
+        allocator = engine.place("ResNet50", selection)
+        assert allocator.effective_capacity_ratio() > 1.3
+        names = {a.name for a in allocator.allocations}
+        assert "weights" in names and "workspace" in names
+
+    def test_evaluate_custom_selection(self, engine, sp_profile):
+        all_2x = {a.name: TargetRatio.X2 for a in sp_profile.allocations}
+        result = engine.evaluate("356.sp", all_2x, "all-2x")
+        assert result.compression_ratio == pytest.approx(2.0)
+        # lhs_work is incompressible: forcing 2x floods the link
+        assert result.buddy_access_fraction > 0.05

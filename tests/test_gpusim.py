@@ -1,0 +1,296 @@
+"""Tests for the GPU performance simulator substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.entry import TargetRatio
+from repro.gpusim import (
+    CompressionMode,
+    CompressionState,
+    DependencyDrivenSimulator,
+    KernelTrace,
+    WarpTrace,
+    scaled_config,
+)
+from repro.gpusim.cache import SectoredCache, sector_mask
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.dram import ChannelSet
+from repro.gpusim.interconnect import Interconnect
+from repro.gpusim.reference import CycleSteppedReference
+from repro.gpusim.trace import Op
+from repro.workloads.snapshots import SnapshotConfig, generate_snapshot
+from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
+
+SMALL_TRACE = TraceConfig(
+    sm_count=4,
+    warps_per_sm=8,
+    memory_instructions_per_warp=24,
+    snapshot_config=SnapshotConfig(scale=1.0 / 16384, min_footprint_bytes=256 * 1024),
+)
+SMALL_GPU = scaled_config(sm_count=4, warps_per_sm=8)
+
+
+def _compute(n):
+    return (int(Op.COMPUTE), n, 0)
+
+
+def _load(addr, sectors=4):
+    return (int(Op.LOAD), addr, sectors)
+
+
+def _store(addr, sectors=4):
+    return (int(Op.STORE), addr, sectors)
+
+
+def _trace(instructions, sm_count=1, footprint=1 << 20, mlp=4):
+    warps = [WarpTrace(0, list(instructions), max_outstanding=mlp)]
+    return KernelTrace("unit", warps, footprint)
+
+
+class TestSectoredCache:
+    def test_sector_granularity(self):
+        cache = SectoredCache(1024, ways=2)
+        cache.fill(0, sector_mask(0, 1))
+        assert cache.lookup(0, sector_mask(0, 1))
+        assert not cache.lookup(0, sector_mask(1, 1))  # other sector absent
+
+    def test_lru_eviction_returns_dirty(self):
+        cache = SectoredCache(256, ways=2)  # 2 lines, 1 set
+        assert cache.fill(0, 0xF, dirty=True) is None
+        assert cache.fill(128, 0xF) is None
+        evicted = cache.fill(256, 0xF)
+        assert evicted == (0, True)
+
+    def test_mask_validation(self):
+        with pytest.raises(ValueError):
+            sector_mask(4, 1)
+
+    def test_mask_clamps_to_line(self):
+        assert sector_mask(3, 4) == 0b1000
+
+
+class TestChannelSet:
+    def test_bandwidth_serialisation(self):
+        channels = ChannelSet(1, bytes_per_cycle=10.0, latency=100)
+        first = channels.request(0, 100, 0.0)
+        second = channels.request(0, 100, 0.0)
+        assert second > first  # queued behind the first transfer
+
+    def test_channel_interleaving(self):
+        channels = ChannelSet(4, 10.0, 100)
+        assert channels.channel_of(0) != channels.channel_of(128)
+
+    def test_row_hits_are_cheaper(self):
+        channels = ChannelSet(1, 100.0, 0)
+        t1 = channels.request(0, 32, 0.0)
+        t2 = channels.request(32, 32, t1) - t1  # same row
+        t3 = channels.request(1 << 20, 32, t1 + t2) - (t1 + t2)  # far row
+        assert t2 < t3
+        assert channels.row_hit_rate > 0
+
+    def test_bytes_accounting(self):
+        channels = ChannelSet(2, 10.0, 10)
+        channels.request(0, 64, 0.0)
+        channels.post(128, 32, 0.0)
+        assert channels.bytes_moved == 96
+        assert channels.requests == 2
+
+
+class TestInterconnect:
+    def test_full_duplex_independence(self):
+        link = Interconnect(scaled_config())
+        read_done = link.read(1 << 16, 0.0)
+        link.write(1 << 16, 0.0)
+        # a second read queues behind the first; writes do not block it
+        assert link.read(64, 0.0) > read_done - link.latency
+
+    def test_lower_bandwidth_is_slower(self):
+        fast = Interconnect(scaled_config(link_gbps=150))
+        slow = Interconnect(scaled_config(link_gbps=50))
+        assert slow.read(1 << 16, 0.0) > fast.read(1 << 16, 0.0)
+
+
+class TestCompressionState:
+    def test_ideal_state(self):
+        state = CompressionState.ideal(1 << 20)
+        assert state.mode is CompressionMode.IDEAL
+        assert state.buddy_access_fraction() == 0.0
+        assert state.device_transfer_bytes(0) == 128
+
+    def test_buddy_state_from_snapshot(self):
+        snapshot = generate_snapshot(
+            "ResNet50", 5, SnapshotConfig(scale=1.0 / 65536)
+        )
+        selection = {a.name: TargetRatio.X2 for a in snapshot.allocations}
+        state = CompressionState.from_snapshot(
+            snapshot, selection, CompressionMode.BUDDY
+        )
+        assert state.entries == snapshot.entries
+        assert 0.0 < state.buddy_access_fraction() < 0.6
+        # entries that fit 2x never use the link
+        fitting = state.sectors <= 2
+        assert (state.buddy_sectors[fitting] == 0).all()
+
+    def test_zero_class_transfers_8_bytes(self):
+        sectors = np.array([1, 4], dtype=np.int8)
+        budgets = np.array([0, 0], dtype=np.int8)
+        zero_fit = np.array([True, False])
+        state = CompressionState(CompressionMode.BUDDY, sectors, budgets, zero_fit)
+        assert state.device_transfer_bytes(0) == 8
+        assert state.buddy_transfer_bytes(0) == 0
+        assert state.buddy_transfer_bytes(1) == 4 * 32
+
+    def test_bandwidth_mode_has_no_buddy(self):
+        sectors = np.array([4], dtype=np.int8)
+        state = CompressionState(
+            CompressionMode.BANDWIDTH,
+            sectors,
+            np.array([4], dtype=np.int8),
+            np.array([False]),
+        )
+        assert state.buddy_transfer_bytes(0) == 0
+
+
+class TestSimulator:
+    def test_compute_only_is_issue_bound(self):
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        trace = _trace([_compute(1000)])
+        result = DependencyDrivenSimulator(config).run(
+            trace, CompressionState.ideal(trace.footprint_bytes)
+        )
+        assert result.cycles == pytest.approx(1000 * config.issue_interval, rel=0.01)
+
+    def test_load_latency_visible_when_serial(self):
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        trace = _trace([_load(0), _load(128)], mlp=1)
+        result = DependencyDrivenSimulator(config).run(
+            trace, CompressionState.ideal(trace.footprint_bytes)
+        )
+        # two serialized L2+DRAM round trips
+        assert result.cycles > 2 * config.dram_latency
+
+    def test_cache_hit_is_faster(self):
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        cold = _trace([_load(i * 128) for i in range(8)], mlp=1)
+        warm = _trace([_load(0)] * 8, mlp=1)
+        sim = DependencyDrivenSimulator(config)
+        cold_result = sim.run(cold, CompressionState.ideal(1 << 20))
+        warm_result = DependencyDrivenSimulator(config).run(
+            warm, CompressionState.ideal(1 << 20)
+        )
+        assert warm_result.cycles < cold_result.cycles
+        assert warm_result.l1_hit_rate > 0.8
+
+    def test_compressed_fill_installs_full_line(self):
+        """Over-fetch: after a 1-sector load, the rest of the line hits."""
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        trace = _trace([_load(0, 1), _load(64, 1)], mlp=1)
+        sectors = np.full(trace.footprint_bytes // 128, 2, dtype=np.int8)
+        state = CompressionState(
+            CompressionMode.BANDWIDTH,
+            sectors,
+            np.full_like(sectors, 4),
+            np.zeros(sectors.size, dtype=bool),
+        )
+        result = DependencyDrivenSimulator(config).run(trace, state)
+        assert result.demand_fills == 1  # second sector came with the first
+
+    def test_buddy_overflow_uses_link(self):
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        trace = _trace([_load(i * 128) for i in range(16)], mlp=2)
+        n = trace.footprint_bytes // 128
+        state = CompressionState(
+            CompressionMode.BUDDY,
+            np.full(n, 4, dtype=np.int8),  # incompressible
+            np.full(n, 2, dtype=np.int8),  # 2x target
+            np.zeros(n, dtype=bool),
+        )
+        result = DependencyDrivenSimulator(config).run(trace, state)
+        assert result.buddy_fills == 16
+        assert result.link_bytes == 16 * 64  # 2 overflow sectors each
+
+    def test_host_region_traffic(self):
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        footprint = 1 << 20
+        warps = [WarpTrace(0, [_load(footprint + 128)], max_outstanding=1)]
+        trace = KernelTrace("unit", warps, footprint, host_traffic_fraction=0.5)
+        result = DependencyDrivenSimulator(config).run(
+            trace, CompressionState.ideal(footprint)
+        )
+        assert result.link_bytes == 128
+        assert result.dram_bytes == 0
+
+    def test_deterministic(self):
+        trace = generate_trace("370.bt", SMALL_TRACE)
+        state = CompressionState.ideal(trace.footprint_bytes)
+        a = DependencyDrivenSimulator(SMALL_GPU).run(trace, state)
+        b = DependencyDrivenSimulator(SMALL_GPU).run(trace, state)
+        assert a.cycles == b.cycles
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def vgg_runs(self):
+        trace = generate_trace("VGG16", SMALL_TRACE)
+        snapshot = layout_snapshot("VGG16", SMALL_TRACE)
+        selection = {a.name: TargetRatio.X2 for a in snapshot.allocations}
+        results = {}
+        for mode in CompressionMode:
+            if mode is CompressionMode.IDEAL:
+                state = CompressionState.ideal(trace.footprint_bytes)
+            else:
+                state = CompressionState.from_snapshot(snapshot, selection, mode)
+            results[mode] = DependencyDrivenSimulator(SMALL_GPU).run(trace, state)
+        return results
+
+    def test_all_modes_complete(self, vgg_runs):
+        for result in vgg_runs.values():
+            assert result.cycles > 0
+            assert result.ipc > 0
+
+    def test_compression_moves_fewer_dram_bytes(self, vgg_runs):
+        """Streaming compressible data: compressed transfers are smaller."""
+        ideal = vgg_runs[CompressionMode.IDEAL]
+        bandwidth = vgg_runs[CompressionMode.BANDWIDTH]
+        assert bandwidth.dram_bytes < ideal.dram_bytes
+
+    def test_buddy_uses_link_ideal_does_not(self, vgg_runs):
+        assert vgg_runs[CompressionMode.IDEAL].link_bytes == 0
+        assert vgg_runs[CompressionMode.BANDWIDTH].link_bytes == 0
+        assert vgg_runs[CompressionMode.BUDDY].link_bytes > 0
+
+    def test_metadata_only_in_buddy_mode(self, vgg_runs):
+        assert vgg_runs[CompressionMode.BUDDY].metadata_hit_rate > 0
+        assert vgg_runs[CompressionMode.BANDWIDTH].metadata_hit_rate == 0
+
+
+class TestReferenceSimulator:
+    def test_tracks_fast_simulator(self):
+        """Fig. 10's contract: the two machines correlate."""
+        config = scaled_config(sm_count=2, warps_per_sm=4)
+        trace_config = TraceConfig(
+            sm_count=2,
+            warps_per_sm=4,
+            memory_instructions_per_warp=12,
+            snapshot_config=SMALL_TRACE.snapshot_config,
+        )
+        ratios = []
+        for name in ("370.bt", "VGG16", "354.cg"):
+            trace = generate_trace(name, trace_config)
+            state = CompressionState.ideal(trace.footprint_bytes)
+            fast = DependencyDrivenSimulator(config).run(trace, state)
+            slow = CycleSteppedReference(config).run(trace, state)
+            ratios.append(fast.cycles / slow.cycles)
+        # same machine, same order of magnitude, stable ratio
+        assert all(0.3 < r < 3.0 for r in ratios)
+        assert max(ratios) / min(ratios) < 2.5
+
+    def test_trace_helpers(self):
+        trace = generate_trace("370.bt", SMALL_TRACE)
+        assert trace.warp_count == 32
+        assert trace.memory_instruction_count == 32 * 24
+        assert trace.instruction_count > trace.memory_instruction_count
+        name = trace.allocation_of(0)
+        assert name in trace.allocation_ranges
+        with pytest.raises(KeyError):
+            trace.allocation_of(10 * trace.footprint_bytes)

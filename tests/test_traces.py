@@ -1,0 +1,121 @@
+"""Tests for the warp-instruction trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.trace import Op
+from repro.units import MEMORY_ENTRY_BYTES
+from repro.workloads.snapshots import SnapshotConfig
+from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
+
+SMALL = TraceConfig(
+    sm_count=4,
+    warps_per_sm=8,
+    memory_instructions_per_warp=32,
+    snapshot_config=SnapshotConfig(scale=1.0 / 16384, min_footprint_bytes=256 * 1024),
+)
+
+
+@pytest.fixture(scope="module")
+def vgg_trace():
+    return generate_trace("VGG16", SMALL)
+
+
+@pytest.fixture(scope="module")
+def cg_trace():
+    return generate_trace("354.cg", SMALL)
+
+
+class TestTraceStructure:
+    def test_warp_population(self, vgg_trace):
+        assert vgg_trace.warp_count == SMALL.sm_count * SMALL.warps_per_sm
+        sms = {warp.sm for warp in vgg_trace.warps}
+        assert sms == set(range(SMALL.sm_count))
+
+    def test_memory_instruction_budget(self, vgg_trace):
+        for warp in vgg_trace.warps:
+            memory = sum(1 for i in warp.instructions if i[0] != Op.COMPUTE)
+            assert memory == SMALL.memory_instructions_per_warp
+
+    def test_determinism(self):
+        a = generate_trace("356.sp", SMALL)
+        b = generate_trace("356.sp", SMALL)
+        assert a.warps[3].instructions == b.warps[3].instructions
+
+    def test_addresses_inside_footprint_or_host(self, vgg_trace):
+        limit = vgg_trace.footprint_bytes * (
+            2 if vgg_trace.host_traffic_fraction else 1
+        )
+        for warp in vgg_trace.warps:
+            for op, address, sectors in warp.instructions:
+                if op == Op.COMPUTE:
+                    continue
+                assert 0 <= address < limit
+                assert 1 <= sectors <= 4
+                # sector range stays within the 128 B line
+                offset = (address % MEMORY_ENTRY_BYTES) // 32
+                assert offset + sectors <= 4
+
+    def test_allocation_ranges_cover_footprint(self, vgg_trace):
+        total = sum(end - start for start, end in vgg_trace.allocation_ranges.values())
+        assert total == vgg_trace.footprint_bytes
+
+
+class TestAccessCharacter:
+    def test_streaming_is_coalesced(self, vgg_trace):
+        sectors = [
+            i[2] for w in vgg_trace.warps for i in w.instructions
+            if i[0] != Op.COMPUTE
+        ]
+        assert np.mean(sectors) == 4.0
+
+    def test_random_touches_single_sectors(self, cg_trace):
+        sectors = [
+            i[2] for w in cg_trace.warps for i in w.instructions
+            if i[0] != Op.COMPUTE
+        ]
+        assert np.mean(sectors) < 1.5
+
+    def test_latency_sensitivity_maps_to_mlp(self):
+        lulesh = generate_trace("FF_Lulesh", SMALL)
+        vgg = generate_trace("VGG16", SMALL)
+        assert lulesh.warps[0].max_outstanding < vgg.warps[0].max_outstanding
+
+    def test_host_traffic_only_for_hpgmg(self):
+        hpgmg = generate_trace("FF_HPGMG", SMALL)
+        assert hpgmg.host_traffic_fraction > 0
+        host_accesses = sum(
+            1
+            for w in hpgmg.warps
+            for i in w.instructions
+            if i[0] != Op.COMPUTE and i[1] >= hpgmg.footprint_bytes
+        )
+        assert host_accesses > 0
+        vgg = generate_trace("VGG16", SMALL)
+        assert vgg.host_traffic_fraction == 0
+
+    def test_access_weights_shape_hot_set(self):
+        """DL scratch gets more dynamic accesses per byte than weights."""
+        trace = generate_trace("ResNet50", SMALL)
+        ranges = trace.allocation_ranges
+        counts = {name: 0 for name in ranges}
+        for warp in trace.warps:
+            for op, address, _ in warp.instructions:
+                if op == Op.COMPUTE:
+                    continue
+                counts[trace.allocation_of(address)] += 1
+        sizes = {n: (e - s) for n, (s, e) in ranges.items()}
+        weight_rate = counts["weights"] / sizes["weights"]
+        scratch_rate = counts["workspace"] / sizes["workspace"]
+        assert scratch_rate > 1.5 * weight_rate
+
+    def test_compute_intensity_tracks_character(self):
+        ep = generate_trace("352.ep", SMALL)  # compute-heavy
+        ilbdc = generate_trace("360.ilbdc", SMALL)  # bandwidth-bound
+        def intensity(trace):
+            compute = sum(
+                i[1] for w in trace.warps for i in w.instructions
+                if i[0] == Op.COMPUTE
+            )
+            return compute / trace.memory_instruction_count
+        assert intensity(ep) > 2 * intensity(ilbdc)

@@ -1,0 +1,88 @@
+"""Tests for the Unified Memory oversubscription model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.um import UMConfig, pinned_slowdown, run_um_study, um_slowdown
+from repro.um.pages import ResidencySet
+
+FAST = UMConfig(footprint_pages=256, accesses_per_page=8, sweeps=10)
+
+
+class TestResidencySet:
+    def test_faults_then_hits(self):
+        pool = ResidencySet(4)
+        assert not pool.touch(1)
+        assert pool.touch(1)
+        assert pool.fault_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        pool = ResidencySet(2)
+        pool.touch(1)
+        pool.touch(2)
+        pool.touch(1)  # refresh 1
+        pool.touch(3)  # evicts 2
+        assert pool.touch(1)
+        assert not pool.touch(2)
+        assert pool.evictions == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResidencySet(0)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_resident_never_exceeds_capacity(self, pages):
+        pool = ResidencySet(8)
+        for page in pages:
+            pool.touch(page)
+        assert pool.resident <= 8
+        assert pool.accesses == len(pages)
+
+
+class TestUMModel:
+    def test_no_oversubscription_is_baseline(self):
+        result = um_slowdown("356.sp", 0.0, FAST)
+        assert result.um_slowdown == pytest.approx(1.0)
+
+    def test_slowdown_monotone_in_oversubscription(self):
+        values = [
+            um_slowdown("360.ilbdc", level, FAST).um_slowdown
+            for level in (0.0, 0.2, 0.4)
+        ]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_random_access_collapses_hardest(self):
+        ilbdc = um_slowdown("360.ilbdc", 0.4, FAST)
+        palm = um_slowdown("351.palm", 0.4, FAST)
+        assert ilbdc.um_slowdown > 2 * palm.um_slowdown
+
+    def test_ilbdc_worse_than_pinned(self):
+        """The paper's headline: UM loses to plain pinning."""
+        result = um_slowdown("360.ilbdc", 0.4, FAST)
+        assert result.um_slowdown > result.pinned_slowdown
+
+    def test_pinned_independent_of_oversubscription(self):
+        a = um_slowdown("356.sp", 0.1, FAST).pinned_slowdown
+        b = um_slowdown("356.sp", 0.4, FAST).pinned_slowdown
+        assert a == b
+
+    def test_pinned_bounded_by_bandwidth_ratio(self):
+        for name in ("351.palm", "356.sp", "360.ilbdc"):
+            slowdown = pinned_slowdown(name, FAST)
+            assert 1.0 < slowdown <= FAST.device_gbps / FAST.link_gbps
+
+    def test_faster_link_reduces_pinned_penalty(self):
+        slow = pinned_slowdown("356.sp", UMConfig(link_gbps=32.0))
+        fast = pinned_slowdown("356.sp", UMConfig(link_gbps=150.0))
+        assert fast < slow
+
+    def test_invalid_oversubscription(self):
+        with pytest.raises(ValueError):
+            um_slowdown("356.sp", 1.0, FAST)
+
+    def test_study_shape(self):
+        rows = run_um_study(("356.sp",), (0.0, 0.2), FAST)
+        assert len(rows) == 2
+        assert {r.oversubscription for r in rows} == {0.0, 0.2}
