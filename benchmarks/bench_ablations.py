@@ -8,7 +8,6 @@
 * Decompression-latency sensitivity on the performance simulator.
 """
 
-import numpy as np
 
 from repro.analysis.report import gmean
 from repro.compression import (
@@ -93,7 +92,6 @@ def test_decompression_latency_sensitivity(benchmark):
         DependencyDrivenSimulator,
         scaled_config,
     )
-    from repro.workloads.snapshots import SnapshotConfig
     from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
     from dataclasses import replace
 

@@ -4,10 +4,10 @@ from repro.analysis import paper_reference as paper
 from repro.analysis.compression_study import fig3_compression_ratios, suite_gmean
 
 
-def test_fig3_compression_ratios(benchmark, static_config):
+def test_fig3_compression_ratios(benchmark, static_config, runner):
     rows = benchmark.pedantic(
         fig3_compression_ratios,
-        kwargs={"config": static_config},
+        kwargs={"config": static_config, "runner": runner},
         rounds=1,
         iterations=1,
     )

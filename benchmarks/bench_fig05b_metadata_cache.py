@@ -18,10 +18,11 @@ TRACE = TraceConfig(
 )
 
 
-def test_fig5b_metadata_cache_sweep(benchmark):
+def test_fig5b_metadata_cache_sweep(benchmark, runner):
     rows = benchmark.pedantic(
         run_metadata_study,
-        kwargs={"benchmarks": BENCHMARKS, "trace_config": TRACE},
+        kwargs={"benchmarks": BENCHMARKS, "trace_config": TRACE,
+                "runner": runner},
         rounds=1,
         iterations=1,
     )

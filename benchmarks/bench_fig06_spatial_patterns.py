@@ -1,6 +1,5 @@
 """Fig. 6: spatial compressibility heatmaps per benchmark."""
 
-import numpy as np
 
 from repro.analysis.compression_study import fig6_heatmap, render_heatmap
 

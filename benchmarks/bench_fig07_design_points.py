@@ -4,10 +4,10 @@ from repro.analysis import paper_reference as paper
 from repro.analysis.compression_study import fig7_design_points
 
 
-def test_fig7_design_points(benchmark, static_config):
+def test_fig7_design_points(benchmark, static_config, runner):
     study = benchmark.pedantic(
         fig7_design_points,
-        kwargs={"config": static_config},
+        kwargs={"config": static_config, "runner": runner},
         rounds=1,
         iterations=1,
     )

@@ -4,10 +4,10 @@ from repro.analysis import paper_reference as paper
 from repro.analysis.compression_study import fig8_temporal_stability
 
 
-def test_fig8_temporal_stability(benchmark, static_config):
+def test_fig8_temporal_stability(benchmark, static_config, runner):
     results = benchmark.pedantic(
         fig8_temporal_stability,
-        kwargs={"config": static_config},
+        kwargs={"config": static_config, "runner": runner},
         rounds=1,
         iterations=1,
     )

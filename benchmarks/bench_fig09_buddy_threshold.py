@@ -1,6 +1,5 @@
 """Fig. 9: sensitivity to the Buddy Threshold parameter."""
 
-import numpy as np
 
 from repro.analysis.compression_study import (
     best_achievable_ratio,
@@ -14,11 +13,11 @@ BENCHMARKS = (
 THRESHOLDS = (0.10, 0.20, 0.30, 0.40)
 
 
-def test_fig9_threshold_sweep(benchmark, static_config):
+def test_fig9_threshold_sweep(benchmark, static_config, runner):
     sweep = benchmark.pedantic(
         fig9_threshold_sweep,
         kwargs={"benchmarks": BENCHMARKS, "thresholds": THRESHOLDS,
-                "config": static_config},
+                "config": static_config, "runner": runner},
         rounds=1,
         iterations=1,
     )

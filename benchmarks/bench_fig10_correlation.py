@@ -1,11 +1,19 @@
 """Fig. 10: fast-simulator correlation and speed vs the reference."""
 
+import pytest
+
 from repro.analysis import paper_reference as paper
 from repro.analysis.correlation_study import run_correlation_study
 
 
-def test_fig10_correlation(benchmark):
-    result = benchmark.pedantic(run_correlation_study, rounds=1, iterations=1)
+@pytest.mark.slow
+def test_fig10_correlation(benchmark, runner):
+    result = benchmark.pedantic(
+        run_correlation_study,
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
+    )
     print()
     for point in result.points:
         print(

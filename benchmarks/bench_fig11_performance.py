@@ -4,9 +4,10 @@ Sweeps bandwidth-only compression and Buddy Compression across
 interconnect bandwidths of 50/100/150/200 GB/s on all 16 benchmarks.
 """
 
+import pytest
+
 from repro.analysis import paper_reference as paper
 from repro.analysis.perf_study import format_perf_table, run_perf_study
-from repro.workloads.snapshots import SnapshotConfig
 from repro.workloads.traces import TraceConfig
 
 #: Shorter traces than the analysis default keep the bench quick while
@@ -14,10 +15,11 @@ from repro.workloads.traces import TraceConfig
 TRACE = TraceConfig(memory_instructions_per_warp=64)
 
 
-def test_fig11_performance(benchmark):
+@pytest.mark.slow
+def test_fig11_performance(benchmark, runner):
     result = benchmark.pedantic(
         run_perf_study,
-        kwargs={"trace_config": TRACE},
+        kwargs={"trace_config": TRACE, "runner": runner},
         rounds=1,
         iterations=1,
     )

@@ -8,8 +8,10 @@ from repro.analysis.um_study import (
 )
 
 
-def test_fig12_um_oversubscription(benchmark):
-    rows = benchmark.pedantic(fig12_curves, rounds=1, iterations=1)
+def test_fig12_um_oversubscription(benchmark, runner):
+    rows = benchmark.pedantic(
+        fig12_curves, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     print()
     print(format_fig12_table(rows))
 

@@ -7,9 +7,9 @@ from repro.analysis.dl_study import format_dl_tables, run_dl_study
 from repro.dlmodel.memory import TITAN_XP_BYTES, footprint_bytes, transition_batch
 
 
-def test_fig13_dl_case_study(benchmark, static_config):
+def test_fig13_dl_case_study(benchmark, static_config, runner):
     result = benchmark.pedantic(
-        run_dl_study, rounds=1, iterations=1,
+        run_dl_study, kwargs={"runner": runner}, rounds=1, iterations=1,
     )
     print()
     print(format_dl_tables(result))

@@ -4,10 +4,16 @@ Every bench regenerates one paper artefact (table or figure), prints
 the paper-vs-measured comparison, and asserts the qualitative
 contracts DESIGN.md lists.  Scales are reduced relative to the
 analysis defaults so the full harness completes in minutes.
+
+Benches execute through the same :mod:`repro.engine` runner the CLI
+uses, so the harness exercises the production sweep path; pass
+``--workers N`` to parallelise design points.  Caching is disabled —
+a bench that reads back its previous result measures nothing.
 """
 
 import pytest
 
+from repro.engine import ExperimentRunner
 from repro.workloads.snapshots import SnapshotConfig
 
 #: Snapshot scaling for the static (compression) benches.
@@ -17,3 +23,9 @@ STATIC_SCALE = SnapshotConfig(scale=1.0 / 65536)
 @pytest.fixture(scope="session")
 def static_config() -> SnapshotConfig:
     return STATIC_SCALE
+
+
+@pytest.fixture(scope="session")
+def runner(request) -> ExperimentRunner:
+    """Engine runner for the benches (uncached, ``--workers`` aware)."""
+    return ExperimentRunner(workers=request.config.getoption("--workers"))

@@ -1,0 +1,24 @@
+"""Repository-level pytest configuration.
+
+Registers the ``--workers`` option used by the engine-backed fixtures:
+``pytest benchmarks/ --workers 8`` fans every study's design points
+out across worker processes (results are bit-identical to serial runs;
+see :mod:`repro.engine`).
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for engine-backed studies (default: serial)",
+    )
+
+
+def pytest_configure(config):
+    # Also registered in pyproject.toml; kept here so ad-hoc invocations
+    # with a different rootdir still know the marker.
+    config.addinivalue_line(
+        "markers", "slow: long sweeps deselected in CI (-m 'not slow')"
+    )

@@ -11,8 +11,15 @@ from repro.compression.zeroblock import zero_mask
 from repro.core.controller import BuddyCompressor, BuddyConfig, EvaluationResult
 from repro.core.targets import FINAL, NAIVE, PER_ALLOCATION, DesignPoint
 from repro.units import ENTRIES_PER_PAGE, MEMORY_ENTRY_BYTES
-from repro.workloads.catalog import ALL_BENCHMARKS, get_benchmark
+from repro.workloads.catalog import get_benchmark
 from repro.workloads.snapshots import SnapshotConfig, generate_run, generate_snapshot
+
+
+def _default_runner():
+    """Serial, cache-free engine runner (library-call default)."""
+    from repro.engine.runner import ExperimentRunner
+
+    return ExperimentRunner()
 
 
 # ---------------------------------------------------------------------------
@@ -29,25 +36,30 @@ class Fig3Row:
         return float(np.mean(self.per_snapshot))
 
 
-def fig3_compression_ratios(
-    benchmarks=None, config: SnapshotConfig | None = None
-) -> list[Fig3Row]:
-    """Fig. 3: optimistic (free-size) BPC ratios, ten dumps per run."""
+def fig3_row(benchmark: str, config: SnapshotConfig | None = None) -> Fig3Row:
+    """One benchmark's Fig. 3 row (the engine's design-point unit)."""
     config = config or SnapshotConfig()
     bpc = BPCCompressor()
-    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
-    rows = []
-    for name in names:
-        ratios = []
-        for snapshot in generate_run(name, config):
-            data = snapshot.stacked_data()
-            sizes = bpc.compressed_sizes(data)
-            free = free_sizes_for_sizes(sizes, zero_mask(data))
-            ratios.append(
-                data.shape[0] * MEMORY_ENTRY_BYTES / max(int(free.sum()), 1)
-            )
-        rows.append(Fig3Row(name, get_benchmark(name).is_hpc, ratios))
-    return rows
+    ratios = []
+    for snapshot in generate_run(benchmark, config):
+        data = snapshot.stacked_data()
+        sizes = bpc.compressed_sizes(data)
+        free = free_sizes_for_sizes(sizes, zero_mask(data))
+        ratios.append(
+            data.shape[0] * MEMORY_ENTRY_BYTES / max(int(free.sum()), 1)
+        )
+    return Fig3Row(benchmark, get_benchmark(benchmark).is_hpc, ratios)
+
+
+def fig3_compression_ratios(
+    benchmarks=None, config: SnapshotConfig | None = None, runner=None
+) -> list[Fig3Row]:
+    """Fig. 3: optimistic (free-size) BPC ratios, ten dumps per run."""
+    runner = runner or _default_runner()
+    return runner.run(
+        "compression.fig3",
+        {"benchmarks": tuple(benchmarks) if benchmarks else None, "config": config},
+    )
 
 
 def suite_gmean(rows: list[Fig3Row], hpc: bool) -> float:
@@ -104,63 +116,103 @@ class DesignPointStudy:
         return gmean, float(np.mean(accesses)) if accesses else 0.0
 
 
+def fig7_benchmark(
+    benchmark: str,
+    config: SnapshotConfig | None = None,
+    designs: tuple[DesignPoint, ...] = (NAIVE, PER_ALLOCATION, FINAL),
+) -> dict[str, EvaluationResult]:
+    """One benchmark across the Fig. 7 designs (profile once, reuse)."""
+    engine = BuddyCompressor(
+        BuddyConfig(snapshot_config=config or SnapshotConfig())
+    )
+    profile = engine.profile(benchmark)
+    results: dict[str, EvaluationResult] = {}
+    for design in designs:
+        selection = engine.select(profile, design)
+        results[design.name] = engine.evaluate(benchmark, selection, design.name)
+    return results
+
+
 def fig7_design_points(
     benchmarks=None,
     config: SnapshotConfig | None = None,
     designs: tuple[DesignPoint, ...] = (NAIVE, PER_ALLOCATION, FINAL),
+    runner=None,
 ) -> DesignPointStudy:
     """Fig. 7: the three design points on every benchmark."""
+    runner = runner or _default_runner()
+    return runner.run(
+        "compression.fig7",
+        {
+            "benchmarks": tuple(benchmarks) if benchmarks else None,
+            "config": config,
+            "designs": tuple(designs),
+        },
+    )
+
+
+def fig8_benchmark(
+    benchmark: str, config: SnapshotConfig | None = None
+) -> EvaluationResult:
+    """One benchmark's Fig. 8 run under the final design."""
     engine = BuddyCompressor(
         BuddyConfig(snapshot_config=config or SnapshotConfig())
     )
-    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
-    results: dict[str, dict[str, EvaluationResult]] = {}
-    for name in names:
-        profile = engine.profile(name)
-        results[name] = {}
-        for design in designs:
-            selection = engine.select(profile, design)
-            results[name][design.name] = engine.evaluate(
-                name, selection, design.name
-            )
-    return DesignPointStudy(results)
+    return engine.run(benchmark, FINAL)
 
 
 def fig8_temporal_stability(
     benchmarks=("ResNet50", "SqueezeNet"),
     config: SnapshotConfig | None = None,
+    runner=None,
 ) -> dict[str, EvaluationResult]:
     """Fig. 8: per-snapshot buddy traffic under the final design."""
+    runner = runner or _default_runner()
+    return runner.run(
+        "compression.fig8",
+        {"benchmarks": tuple(benchmarks), "config": config},
+    )
+
+
+def fig9_benchmark(
+    benchmark: str,
+    thresholds=(0.10, 0.20, 0.30, 0.40),
+    config: SnapshotConfig | None = None,
+) -> dict[float, EvaluationResult]:
+    """One benchmark's Fig. 9 threshold sweep (profile once, reuse)."""
     engine = BuddyCompressor(
         BuddyConfig(snapshot_config=config or SnapshotConfig())
     )
-    return {name: engine.run(name, FINAL) for name in benchmarks}
+    profile = engine.profile(benchmark)
+    sweep: dict[float, EvaluationResult] = {}
+    for threshold in thresholds:
+        design = DesignPoint(
+            f"threshold-{threshold:.2f}",
+            per_allocation=True,
+            zero_page=False,
+            threshold=threshold,
+        )
+        selection = engine.select(profile, design)
+        sweep[threshold] = engine.evaluate(benchmark, selection, design.name)
+    return sweep
 
 
 def fig9_threshold_sweep(
     benchmarks=None,
     thresholds=(0.10, 0.20, 0.30, 0.40),
     config: SnapshotConfig | None = None,
+    runner=None,
 ) -> dict[str, dict[float, EvaluationResult]]:
     """Fig. 9: per-allocation design across Buddy Thresholds."""
-    engine = BuddyCompressor(
-        BuddyConfig(snapshot_config=config or SnapshotConfig())
+    runner = runner or _default_runner()
+    return runner.run(
+        "compression.fig9",
+        {
+            "benchmarks": tuple(benchmarks) if benchmarks else None,
+            "thresholds": tuple(thresholds),
+            "config": config,
+        },
     )
-    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
-    sweep: dict[str, dict[float, EvaluationResult]] = {}
-    for name in names:
-        profile = engine.profile(name)
-        sweep[name] = {}
-        for threshold in thresholds:
-            design = DesignPoint(
-                f"threshold-{threshold:.2f}",
-                per_allocation=True,
-                zero_page=False,
-                threshold=threshold,
-            )
-            selection = engine.select(profile, design)
-            sweep[name][threshold] = engine.evaluate(name, selection, design.name)
-    return sweep
 
 
 def best_achievable_ratio(

@@ -11,7 +11,7 @@ figure) and measure the wall-clock gap.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,8 +34,11 @@ class CorrelationPoint:
     instructions: int
     fast_cycles: float
     reference_cycles: float
-    fast_seconds: float
-    reference_seconds: float
+    # Wall-clock measurements vary run to run; marking them volatile
+    # keeps them out of engine result digests (cycle counts, which are
+    # deterministic, remain covered).
+    fast_seconds: float = field(metadata={"volatile": True})
+    reference_seconds: float = field(metadata={"volatile": True})
 
 
 @dataclass
@@ -59,40 +62,59 @@ class CorrelationResult:
         return float(np.mean(ratios))
 
 
+def correlation_point(
+    benchmark: str,
+    memory_instructions: int,
+    sm_count: int = 4,
+    warps_per_sm: int = 6,
+) -> CorrelationPoint:
+    """Both simulators on one (benchmark, trace length) design point.
+
+    Cycle counts are deterministic; the wall-clock fields are measured
+    fresh on every execution (a cached point keeps the timings of the
+    run that produced it).
+    """
+    config = scaled_config(sm_count=sm_count, warps_per_sm=warps_per_sm)
+    trace_config = TraceConfig(
+        sm_count=config.sm_count,
+        warps_per_sm=config.warps_per_sm,
+        memory_instructions_per_warp=memory_instructions,
+        snapshot_config=SnapshotConfig(scale=1.0 / 16384),
+    )
+    trace = generate_trace(benchmark, trace_config)
+    state = CompressionState.ideal(trace.footprint_bytes)
+
+    start = time.perf_counter()
+    fast = DependencyDrivenSimulator(config).run(trace, state)
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference = CycleSteppedReference(config).run(trace, state)
+    reference_seconds = time.perf_counter() - start
+
+    return CorrelationPoint(
+        benchmark=benchmark,
+        instructions=trace.instruction_count,
+        fast_cycles=fast.cycles,
+        reference_cycles=reference.cycles,
+        fast_seconds=fast_seconds,
+        reference_seconds=reference_seconds,
+    )
+
+
 def run_correlation_study(
     benchmarks=DEFAULT_BENCHMARKS,
     instruction_scales=(6, 18),
+    runner=None,
 ) -> CorrelationResult:
     """Run both simulators across benchmarks and trace lengths."""
-    config = scaled_config(sm_count=4, warps_per_sm=6)
-    points = []
-    for name in benchmarks:
-        for memory_instructions in instruction_scales:
-            trace_config = TraceConfig(
-                sm_count=config.sm_count,
-                warps_per_sm=config.warps_per_sm,
-                memory_instructions_per_warp=memory_instructions,
-                snapshot_config=SnapshotConfig(scale=1.0 / 16384),
-            )
-            trace = generate_trace(name, trace_config)
-            state = CompressionState.ideal(trace.footprint_bytes)
+    from repro.engine.runner import ExperimentRunner
 
-            start = time.perf_counter()
-            fast = DependencyDrivenSimulator(config).run(trace, state)
-            fast_seconds = time.perf_counter() - start
-
-            start = time.perf_counter()
-            reference = CycleSteppedReference(config).run(trace, state)
-            reference_seconds = time.perf_counter() - start
-
-            points.append(
-                CorrelationPoint(
-                    benchmark=name,
-                    instructions=trace.instruction_count,
-                    fast_cycles=fast.cycles,
-                    reference_cycles=reference.cycles,
-                    fast_seconds=fast_seconds,
-                    reference_seconds=reference_seconds,
-                )
-            )
-    return CorrelationResult(points)
+    runner = runner or ExperimentRunner()
+    return runner.run(
+        "correlation.fig10",
+        {
+            "benchmarks": tuple(benchmarks),
+            "instruction_scales": tuple(instruction_scales),
+        },
+    )

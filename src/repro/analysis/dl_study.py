@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.controller import BuddyCompressor, BuddyConfig
 from repro.core.targets import FINAL
 from repro.dlmodel.casestudy import CaseStudyRow, buddy_batch_speedups, mean_speedup
-from repro.dlmodel.convergence import accuracy_curve, final_accuracy
+from repro.dlmodel.convergence import accuracy_curve
 from repro.dlmodel.memory import footprint_bytes
 from repro.dlmodel.networks import NETWORK_BUILDERS
 from repro.dlmodel.throughput import speedup_vs_batch
@@ -33,34 +33,60 @@ class DLStudyResult:
         return mean_speedup(self.case_study)
 
 
-def measured_compression_ratios(
-    config: SnapshotConfig | None = None,
-) -> dict[str, float]:
-    """Per-network buddy ratios from the Fig. 7 pipeline."""
+def network_ratio(
+    network: str, config: SnapshotConfig | None = None
+) -> float:
+    """One network's buddy ratio (the engine's point unit)."""
     engine = BuddyCompressor(
         BuddyConfig(snapshot_config=config or SnapshotConfig(scale=1.0 / 65536))
     )
-    ratios = {}
-    for name in NETWORK_BUILDERS:
-        ratios[name] = engine.run(name, FINAL).compression_ratio
-    return ratios
+    return engine.run(network, FINAL).compression_ratio
+
+
+def measured_compression_ratios(
+    config: SnapshotConfig | None = None, runner=None
+) -> dict[str, float]:
+    """Per-network buddy ratios from the Fig. 7 pipeline."""
+    from repro.engine.runner import ExperimentRunner
+
+    runner = runner or ExperimentRunner()
+    return runner.run("dl.ratios", {"config": config})
 
 
 def run_dl_study(
     compression_ratios: dict[str, float] | None = None,
     batches=BATCH_SWEEP,
     epochs: int = 100,
+    runner=None,
 ) -> DLStudyResult:
     """Produce all four Fig. 13 panels."""
-    ratios = compression_ratios or measured_compression_ratios()
+    if compression_ratios is None:
+        from repro.engine.runner import ExperimentRunner
+
+        runner = runner or ExperimentRunner()
+        return runner.run(
+            "dl.fig13", {"batches": tuple(batches), "epochs": epochs}
+        )
+    return assemble_dl_study(compression_ratios, batches, epochs)
+
+
+def assemble_dl_study(
+    ratios: dict[str, float], batches=BATCH_SWEEP, epochs: int = 100
+) -> DLStudyResult:
+    """Build the four Fig. 13 panels from per-network ratios.
+
+    Panels cover exactly the networks in ``ratios`` so subset runs stay
+    consistent across all four panels.
+    """
+    networks = [name for name in NETWORK_BUILDERS if name in ratios]
     footprints = {
         name: {
             batch: footprint_bytes(name, batch) / GIB for batch in batches
         }
-        for name in NETWORK_BUILDERS
+        for name in networks
     }
     speedups = {
-        name: speedup_vs_batch(name, batches) for name in NETWORK_BUILDERS
+        name: speedup_vs_batch(name, batches) for name in networks
     }
     case_study = buddy_batch_speedups(ratios)
     accuracy = {

@@ -14,10 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.metadata_cache import MetadataCache
-from repro.core.translation import ENTRIES_PER_METADATA_LINE
 from repro.gpusim.trace import Op
 from repro.units import KIB
-from repro.workloads.catalog import ALL_BENCHMARKS
 from repro.workloads.snapshots import SnapshotConfig
 from repro.workloads.traces import TraceConfig, generate_trace
 
@@ -48,27 +46,43 @@ def metadata_access_stream(benchmark: str, config: TraceConfig) -> list[int]:
     return interleaved
 
 
+def metadata_row(
+    benchmark: str,
+    sizes=DEFAULT_SIZES,
+    trace_config: TraceConfig | None = None,
+) -> MetadataStudyRow:
+    """One benchmark's cache-size sweep (the engine's point unit)."""
+    trace_config = trace_config or TraceConfig(
+        snapshot_config=SnapshotConfig(scale=1.0 / 2048)
+    )
+    stream = metadata_access_stream(benchmark, trace_config)
+    hit_rates = {}
+    for size in sizes:
+        cache = MetadataCache(size, ways=2, slices=2)
+        for entry in stream:
+            cache.access_entry(entry)
+        hit_rates[size] = cache.stats.hit_rate
+    return MetadataStudyRow(benchmark, hit_rates)
+
+
 def run_metadata_study(
     benchmarks=None,
     sizes=DEFAULT_SIZES,
     trace_config: TraceConfig | None = None,
+    runner=None,
 ) -> list[MetadataStudyRow]:
     """Sweep metadata cache sizes per benchmark (Fig. 5b)."""
-    trace_config = trace_config or TraceConfig(
-        snapshot_config=SnapshotConfig(scale=1.0 / 2048)
+    from repro.engine.runner import ExperimentRunner
+
+    runner = runner or ExperimentRunner()
+    return runner.run(
+        "metadata.fig5b",
+        {
+            "benchmarks": tuple(benchmarks) if benchmarks else None,
+            "sizes": tuple(sizes),
+            "trace_config": trace_config,
+        },
     )
-    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
-    rows = []
-    for name in names:
-        stream = metadata_access_stream(name, trace_config)
-        hit_rates = {}
-        for size in sizes:
-            cache = MetadataCache(size, ways=2, slices=2)
-            for entry in stream:
-                cache.access_entry(entry)
-            hit_rates[size] = cache.stats.hit_rate
-        rows.append(MetadataStudyRow(name, hit_rates))
-    return rows
 
 
 def format_metadata_table(rows: list[MetadataStudyRow]) -> str:

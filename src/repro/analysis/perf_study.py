@@ -13,7 +13,7 @@ with a 150 GB/s interconnect, exactly as the paper normalises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,8 +21,8 @@ from repro.core.controller import BuddyCompressor, BuddyConfig
 from repro.core.targets import FINAL
 from repro.gpusim.compression import CompressionMode, CompressionState
 from repro.gpusim.config import GPUConfig, scaled_config
-from repro.gpusim.simulator import DependencyDrivenSimulator, SimResult
-from repro.workloads.catalog import ALL_BENCHMARKS, DL_BENCHMARKS, HPC_BENCHMARKS
+from repro.gpusim.simulator import DependencyDrivenSimulator
+from repro.workloads.catalog import get_benchmark
 from repro.workloads.snapshots import SnapshotConfig
 from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
 
@@ -68,12 +68,64 @@ class PerfStudyResult:
         return float(np.exp(np.mean(np.log(values))))
 
 
+def perf_benchmark_row(
+    benchmark: str,
+    config: GPUConfig | None = None,
+    trace_config: TraceConfig | None = None,
+    link_sweep=LINK_SWEEP,
+    profile_config: SnapshotConfig | None = None,
+) -> BenchmarkPerf:
+    """One benchmark's full Fig. 11 series (the engine's point unit)."""
+    config = config or scaled_config()
+    trace_config = trace_config or TraceConfig(
+        sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
+    )
+    profile_config = profile_config or SnapshotConfig(scale=1.0 / 65536)
+    engine = BuddyCompressor(BuddyConfig(snapshot_config=profile_config))
+
+    trace = generate_trace(benchmark, trace_config)
+    snapshot = layout_snapshot(benchmark, trace_config)
+    selection = engine.select(engine.profile(benchmark), FINAL)
+
+    ideal = DependencyDrivenSimulator(config).run(
+        trace, CompressionState.ideal(trace.footprint_bytes)
+    )
+    bandwidth_state = CompressionState.from_snapshot(
+        snapshot, selection, CompressionMode.BANDWIDTH
+    )
+    bandwidth = DependencyDrivenSimulator(config).run(trace, bandwidth_state)
+
+    buddy_state = CompressionState.from_snapshot(
+        snapshot, selection, CompressionMode.BUDDY
+    )
+    buddy = {}
+    meta_hit = 0.0
+    for link in link_sweep:
+        result = DependencyDrivenSimulator(config.with_link(link)).run(
+            trace, buddy_state
+        )
+        buddy[link] = ideal.cycles / result.cycles
+        if link == 150.0:
+            meta_hit = result.metadata_hit_rate
+
+    return BenchmarkPerf(
+        benchmark=benchmark,
+        is_hpc=get_benchmark(benchmark).is_hpc,
+        ideal_cycles=ideal.cycles,
+        bandwidth_only=ideal.cycles / bandwidth.cycles,
+        buddy=buddy,
+        metadata_hit_rate=meta_hit,
+        buddy_access_fraction=buddy_state.buddy_access_fraction(),
+    )
+
+
 def run_perf_study(
     benchmarks=None,
     config: GPUConfig | None = None,
     trace_config: TraceConfig | None = None,
     link_sweep=LINK_SWEEP,
     profile_config: SnapshotConfig | None = None,
+    runner=None,
 ) -> PerfStudyResult:
     """Run the full Fig. 11 sweep.
 
@@ -85,56 +137,28 @@ def run_perf_study(
         profile_config: Snapshot scaling for the profiling pass that
             picks target ratios (smaller than the trace scale — it
             only needs histograms).
+        runner: :class:`repro.engine.ExperimentRunner` controlling
+            parallelism and caching (default: serial, uncached).
     """
-    config = config or scaled_config()
-    trace_config = trace_config or TraceConfig(
-        sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
+    from repro.engine.runner import ExperimentRunner
+
+    runner = runner or ExperimentRunner()
+    if trace_config is None and config is not None:
+        # Preserve the historical coupling: an explicit machine implies
+        # a trace shaped for that machine's SM/warp geometry.
+        trace_config = TraceConfig(
+            sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
+        )
+    return runner.run(
+        "perf.fig11",
+        {
+            "benchmarks": tuple(benchmarks) if benchmarks else None,
+            "config": config,
+            "trace_config": trace_config,
+            "link_sweep": tuple(link_sweep),
+            "profile_config": profile_config,
+        },
     )
-    profile_config = profile_config or SnapshotConfig(scale=1.0 / 65536)
-    names = list(benchmarks) if benchmarks else [b.name for b in ALL_BENCHMARKS]
-    engine = BuddyCompressor(BuddyConfig(snapshot_config=profile_config))
-
-    rows = []
-    for name in names:
-        trace = generate_trace(name, trace_config)
-        snapshot = layout_snapshot(name, trace_config)
-        selection = engine.select(engine.profile(name), FINAL)
-
-        ideal = DependencyDrivenSimulator(config).run(
-            trace, CompressionState.ideal(trace.footprint_bytes)
-        )
-        bandwidth_state = CompressionState.from_snapshot(
-            snapshot, selection, CompressionMode.BANDWIDTH
-        )
-        bandwidth = DependencyDrivenSimulator(config).run(trace, bandwidth_state)
-
-        buddy_state = CompressionState.from_snapshot(
-            snapshot, selection, CompressionMode.BUDDY
-        )
-        buddy = {}
-        meta_hit = 0.0
-        for link in link_sweep:
-            result = DependencyDrivenSimulator(config.with_link(link)).run(
-                trace, buddy_state
-            )
-            buddy[link] = ideal.cycles / result.cycles
-            if link == 150.0:
-                meta_hit = result.metadata_hit_rate
-
-        from repro.workloads.catalog import get_benchmark
-
-        rows.append(
-            BenchmarkPerf(
-                benchmark=name,
-                is_hpc=get_benchmark(name).is_hpc,
-                ideal_cycles=ideal.cycles,
-                bandwidth_only=ideal.cycles / bandwidth.cycles,
-                buddy=buddy,
-                metadata_hit_rate=meta_hit,
-                buddy_access_fraction=buddy_state.buddy_access_fraction(),
-            )
-        )
-    return PerfStudyResult(rows)
 
 
 def format_perf_table(result: PerfStudyResult, link_sweep=LINK_SWEEP) -> str:

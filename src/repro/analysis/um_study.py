@@ -20,9 +20,21 @@ class BuddyVsUM:
     buddy_slowdown: float
 
 
-def fig12_curves(config: UMConfig | None = None) -> list[UMResult]:
+def um_benchmark_curve(
+    benchmark: str,
+    levels=FIG12_LEVELS,
+    config: UMConfig | None = None,
+) -> list[UMResult]:
+    """One benchmark's oversubscription curve (the engine's point unit)."""
+    return run_um_study((benchmark,), tuple(levels), config)
+
+
+def fig12_curves(config: UMConfig | None = None, runner=None) -> list[UMResult]:
     """The Fig. 12 dataset (UM + pinned, per benchmark and level)."""
-    return run_um_study(FIG12_BENCHMARKS, FIG12_LEVELS, config)
+    from repro.engine.runner import ExperimentRunner
+
+    runner = runner or ExperimentRunner()
+    return runner.run("um.fig12", {"config": config})
 
 
 def buddy_vs_um(

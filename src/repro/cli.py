@@ -1,91 +1,380 @@
-"""Command-line experiment runner: ``python -m repro <experiment>``.
+"""Command-line experiment runner: ``python -m repro <command>``.
 
-Experiments map one-to-one onto the paper's tables and figures; each
-prints the same rows/series the paper reports.
+Everything routes through the :mod:`repro.engine` subsystem::
+
+    repro list                     # registered experiments
+    repro run perf.fig11 --workers 8
+    repro sweep --workers 4        # the Fig. 7 design-point sweep
+    repro report --from-cache      # render results without re-running
+
+``run`` and ``sweep`` memoise every design point in the
+content-addressed cache (``.repro-cache/`` by default, overridable
+with ``--cache-dir`` or ``REPRO_CACHE_DIR``), so re-runs and partial
+sweeps are incremental; ``--workers N`` fans design points out across
+processes with bit-identical results.
+
+The paper's figure names (``repro fig3`` … ``repro fig13``) remain as
+aliases that run serially without touching the cache, printing the
+same rows/series the paper reports.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
+
+from repro.engine import (
+    CacheMiss,
+    ExperimentRunner,
+    ResultCache,
+    experiment_names,
+    get_experiment,
+    result_digest,
+)
+from repro import rng as rng_lib
+
+#: ``repro sweep`` default: the Fig. 7 design-point sweep.
+DEFAULT_SWEEP = ("compression.fig7",)
+
+#: Legacy figure aliases onto registered experiments.
+FIGURE_ALIASES = {
+    "fig3": "compression.fig3",
+    "fig7": "compression.fig7",
+    "fig8": "compression.fig8",
+    "fig9": "compression.fig9",
+    "fig5b": "metadata.fig5b",
+    "fig10": "correlation.fig10",
+    "fig11": "perf.fig11",
+    "fig12": "um.fig12",
+    "fig13": "dl.fig13",
+}
 
 
-def _fig3(args) -> None:
-    from repro.analysis.compression_study import fig3_compression_ratios, suite_gmean
+# ---------------------------------------------------------------------------
+# Per-experiment result formatters.
+# ---------------------------------------------------------------------------
+def _print_fig3(rows) -> None:
+    from repro.analysis.compression_study import suite_gmean
 
-    rows = fig3_compression_ratios()
     for row in rows:
         print(f"{row.benchmark:14s} {row.mean_ratio:5.2f}")
-    print(f"GMEAN HPC {suite_gmean(rows, True):.2f} (paper 2.51)")
-    print(f"GMEAN DL  {suite_gmean(rows, False):.2f} (paper 1.85)")
+    # Subset runs may leave a suite empty; a fabricated 0.00 gmean
+    # against the paper value would be misleading.
+    if any(row.is_hpc for row in rows):
+        print(f"GMEAN HPC {suite_gmean(rows, True):.2f} (paper 2.51)")
+    if any(not row.is_hpc for row in rows):
+        print(f"GMEAN DL  {suite_gmean(rows, False):.2f} (paper 1.85)")
 
 
-def _fig6(args) -> None:
-    from repro.analysis.compression_study import fig6_heatmap, render_heatmap
-
-    for name in args.benchmarks or ("FF_HPGMG", "356.sp", "ResNet50"):
-        print(f"== {name} (.:1 -:2 +:3 #:4 sectors) ==")
-        print(render_heatmap(fig6_heatmap(name)))
-
-
-def _fig7(args) -> None:
-    from repro.analysis.compression_study import fig7_design_points
-
-    study = fig7_design_points()
+def _print_fig7(study) -> None:
     for design in ("naive", "per-allocation", "final"):
         for label, hpc in (("HPC", True), ("DL", False)):
             ratio, accesses = study.suite_summary(design, hpc)
-            print(f"{design:16s} {label}: {ratio:.2f}x, {accesses:.2%} buddy accesses")
+            print(
+                f"{design:16s} {label}: {ratio:.2f}x, "
+                f"{accesses:.2%} buddy accesses"
+            )
 
 
-def _fig11(args) -> None:
-    from repro.analysis.perf_study import format_perf_table, run_perf_study
-
-    result = run_perf_study()
-    print(format_perf_table(result))
-
-
-def _fig12(args) -> None:
-    from repro.analysis.um_study import fig12_curves, format_fig12_table
-
-    print(format_fig12_table(fig12_curves()))
+def _print_fig8(results) -> None:
+    for name, result in results.items():
+        series = " ".join(
+            f"{s.entry_fraction:.3f}" for s in result.per_snapshot
+        )
+        print(f"{name:14s} ratio {result.compression_ratio:4.2f}x  {series}")
 
 
-def _fig13(args) -> None:
-    from repro.analysis.dl_study import format_dl_tables, run_dl_study
+def _print_fig9(sweep) -> None:
+    thresholds = sorted(next(iter(sweep.values())))
+    header = f"{'benchmark':14s} " + " ".join(f"t={t:.2f}" for t in thresholds)
+    print(header)
+    for name, runs in sweep.items():
+        cells = " ".join(f"{runs[t].compression_ratio:6.2f}" for t in thresholds)
+        print(f"{name:14s} {cells}")
 
-    print(format_dl_tables(run_dl_study()))
+
+def _print_fig5b(rows) -> None:
+    from repro.analysis.metadata_study import format_metadata_table
+
+    print(format_metadata_table(rows))
 
 
-def _fig10(args) -> None:
-    from repro.analysis.correlation_study import run_correlation_study
-
-    result = run_correlation_study()
+def _print_fig10(result) -> None:
     print(f"correlation (log cycles): {result.correlation:.3f} (paper 0.989)")
     print(f"fast-vs-reference wall-clock ratio: {result.mean_speed_ratio:.0f}x")
 
 
-_EXPERIMENTS = {
-    "fig3": _fig3,
-    "fig6": _fig6,
-    "fig7": _fig7,
-    "fig10": _fig10,
-    "fig11": _fig11,
-    "fig12": _fig12,
-    "fig13": _fig13,
+def _print_fig11(result) -> None:
+    from repro.analysis.perf_study import format_perf_table
+
+    print(format_perf_table(result))
+
+
+def _print_fig12(rows) -> None:
+    from repro.analysis.um_study import format_fig12_table
+
+    print(format_fig12_table(rows))
+
+
+def _print_dl_ratios(ratios) -> None:
+    for name, ratio in ratios.items():
+        print(f"{name:14s} {ratio:5.2f}x")
+
+
+def _print_fig13(result) -> None:
+    from repro.analysis.dl_study import format_dl_tables
+
+    print(format_dl_tables(result))
+
+
+FORMATTERS = {
+    "compression.fig3": _print_fig3,
+    "compression.fig7": _print_fig7,
+    "compression.fig8": _print_fig8,
+    "compression.fig9": _print_fig9,
+    "metadata.fig5b": _print_fig5b,
+    "correlation.fig10": _print_fig10,
+    "perf.fig11": _print_fig11,
+    "um.fig12": _print_fig12,
+    "dl.ratios": _print_dl_ratios,
+    "dl.fig13": _print_fig13,
 }
 
 
-def main(argv=None) -> int:
+# ---------------------------------------------------------------------------
+# Parameter assembly.
+# ---------------------------------------------------------------------------
+def _build_runner(args, offline: bool = False) -> ExperimentRunner:
+    cache = None
+    if getattr(args, "cache", True):
+        cache = ResultCache(getattr(args, "cache_dir", None))
+    return ExperimentRunner(
+        workers=getattr(args, "workers", 1),
+        cache=cache,
+        seed=getattr(args, "seed", rng_lib.DEFAULT_SEED),
+        offline=offline,
+    )
+
+
+def _experiment_params(name: str, args) -> dict:
+    """Translate CLI flags into experiment parameter overrides."""
+    from repro.workloads.snapshots import SnapshotConfig
+    from repro.workloads.traces import TraceConfig
+
+    params: dict = {}
+    benchmarks = getattr(args, "benchmarks", None)
+    if benchmarks:
+        key = "networks" if name.startswith("dl.") else "benchmarks"
+        params[key] = tuple(benchmarks)
+    scale = getattr(args, "scale", None)
+    if scale:
+        defaults = get_experiment(name).defaults()
+        scaled = False
+        for key, value in defaults.items():
+            if isinstance(value, SnapshotConfig):
+                params[key] = replace(value, scale=scale)
+                scaled = True
+            elif isinstance(value, TraceConfig):
+                params[key] = replace(
+                    value,
+                    snapshot_config=replace(value.snapshot_config, scale=scale),
+                )
+                scaled = True
+        if not scaled:
+            print(
+                f"warning: {name} has no snapshot-scaled parameters; "
+                "--scale ignored",
+                file=sys.stderr,
+            )
+    return params
+
+
+def _run_one(name: str, args, offline: bool = False) -> int:
+    runner = _build_runner(args, offline=offline)
+    try:
+        value, report = runner.run_report(name, _experiment_params(name, args))
+    except CacheMiss as miss:
+        print(f"error: {miss.args[0]}", file=sys.stderr)
+        return 2
+    FORMATTERS[name](value)
+    if not args.quiet:
+        print(report.summary())
+        print(f"result digest: {result_digest(value)}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Commands.
+# ---------------------------------------------------------------------------
+def _cmd_list(args) -> int:
+    for name in experiment_names():
+        print(f"{name:20s} {get_experiment(name).title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    return _run_one(args.experiment, args)
+
+
+def _check_names(names: list[str]) -> int:
+    """Validate experiment names before any work starts."""
+    unknown = [n for n in names if n not in experiment_names()]
+    if unknown:
+        print(
+            f"error: unknown experiment(s) {', '.join(unknown)}; "
+            f"registered: {', '.join(experiment_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    names = list(args.experiments) or (
+        list(experiment_names()) if args.all else list(DEFAULT_SWEEP)
+    )
+    status = _check_names(names)
+    for name in names if status == 0 else ():
+        print(f"== {name} ==")
+        status = max(status, _run_one(name, args))
+    return status
+
+
+def _cmd_report(args) -> int:
+    names = list(args.experiments) or list(DEFAULT_SWEEP)
+    status = _check_names(names)
+    for name in names if status == 0 else ():
+        print(f"== {name} ==")
+        status = max(status, _run_one(name, args, offline=args.from_cache))
+    return status
+
+
+def _cmd_figure(args) -> int:
+    """Legacy figure alias: serial, cache-untouched, paper-style output."""
+    if args.figure == "fig6":
+        from repro.analysis.compression_study import fig6_heatmap, render_heatmap
+
+        for name in args.benchmarks or ("FF_HPGMG", "356.sp", "ResNet50"):
+            print(f"== {name} (.:1 -:2 +:3 #:4 sectors) ==")
+            print(render_heatmap(fig6_heatmap(name)))
+        return 0
+    return _run_one(FIGURE_ALIASES[args.figure], args)
+
+
+# ---------------------------------------------------------------------------
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for design points (default: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache/)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=rng_lib.DEFAULT_SEED,
+        help="base seed for per-point RNG derivation",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override snapshot scale (e.g. 1.5e-5 for a quick smoke run)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the cache/digest summary lines",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Buddy Compression reproduction experiments",
     )
-    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS))
-    parser.add_argument("benchmarks", nargs="*", help="optional benchmark subset")
-    args = parser.parse_args(argv)
-    _EXPERIMENTS[args.experiment](args)
-    return 0
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=experiment_names())
+    run.add_argument("benchmarks", nargs="*", help="optional benchmark subset")
+    _add_engine_options(run)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = commands.add_parser(
+        "sweep", help="run a set of experiments (default: the Fig. 7 sweep)"
+    )
+    sweep.add_argument(
+        "experiments", nargs="*", help="experiments (default: compression.fig7)"
+    )
+    sweep.add_argument(
+        "--all", action="store_true", help="sweep every registered experiment"
+    )
+    _add_engine_options(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = commands.add_parser(
+        "report", help="render experiment results (optionally cache-only)"
+    )
+    report.add_argument(
+        "experiments", nargs="*", help="experiments (default: compression.fig7)"
+    )
+    report.add_argument(
+        "--from-cache",
+        action="store_true",
+        help="fail instead of executing design points not in the cache",
+    )
+    _add_engine_options(report)
+    report.set_defaults(func=_cmd_report)
+
+    for alias in sorted(FIGURE_ALIASES) + ["fig6"]:
+        figure = commands.add_parser(alias, help=f"paper {alias} (serial alias)")
+        figure.add_argument(
+            "benchmarks", nargs="*", help="optional benchmark subset"
+        )
+        figure.set_defaults(
+            func=_cmd_figure,
+            figure=alias,
+            workers=1,
+            cache=False,
+            cache_dir=None,
+            seed=rng_lib.DEFAULT_SEED,
+            scale=None,
+            quiet=True,
+        )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as err:
+        # Unknown benchmark / parameter names surface as KeyErrors with
+        # sentence-like messages from deep in the stack.  Bare-key
+        # KeyErrors (a genuine lookup bug) re-raise with their full
+        # traceback rather than masquerading as user error.
+        message = err.args[0] if err.args else None
+        if not (isinstance(message, str) and " " in message):
+            raise
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

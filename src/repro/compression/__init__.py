@@ -20,6 +20,7 @@ from repro.compression.bdi import BDICompressor
 from repro.compression.bpc import BPCCompressor
 from repro.compression.cpack import CPackCompressor
 from repro.compression.fpc import FPCCompressor
+from repro.compression.zeroblock import ZeroBlockCompressor, zero_fraction, zero_mask
 from repro.compression.sectors import (
     quantize_free_size,
     quantize_to_sectors,
@@ -34,6 +35,9 @@ __all__ = [
     "BDICompressor",
     "FPCCompressor",
     "CPackCompressor",
+    "ZeroBlockCompressor",
+    "zero_fraction",
+    "zero_mask",
     "quantize_free_size",
     "quantize_to_sectors",
     "sectors_for_sizes",

@@ -79,6 +79,24 @@ class CompressionAlgorithm(abc.ABC):
         return blocks.shape[0] * MEMORY_ENTRY_BYTES / compressed
 
 
+def as_entry(words: np.ndarray) -> np.ndarray:
+    """View input as exactly one memory-entry of 32 ``uint32`` words.
+
+    Scalar ``compressed_size`` implementations use this to reject bulk
+    ``(n, 32)`` input instead of silently flattening it: a dictionary
+    codec fed n concatenated entries would share match state across
+    entry boundaries and report one meaningless size.  Bulk input
+    belongs to :meth:`CompressionAlgorithm.compressed_sizes`.
+    """
+    entry = np.asarray(words, dtype=np.uint32).reshape(-1)
+    if entry.size != WORDS_PER_ENTRY:
+        raise ValueError(
+            f"compressed_size expects one {WORDS_PER_ENTRY}-word entry, got "
+            f"{entry.size} words; use compressed_sizes for bulk (n, 32) input"
+        )
+    return entry
+
+
 def as_blocks(data: np.ndarray) -> np.ndarray:
     """View arbitrary array data as ``(n, 32)`` uint32 memory-entries.
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.base import CompressionAlgorithm, as_blocks
+from repro.compression.base import CompressionAlgorithm, as_blocks, as_entry
 from repro.units import MEMORY_ENTRY_BYTES
 
 _HEADER_BYTES = 1
@@ -80,7 +80,7 @@ class BDICompressor(CompressionAlgorithm):
     name = "bdi"
 
     def compressed_size(self, words: np.ndarray) -> int:
-        block = np.asarray(words, dtype=np.uint32)
+        block = as_entry(words)
         raw = block.view(np.uint8)
         if not block.any():
             return _HEADER_BYTES  # all-zero class

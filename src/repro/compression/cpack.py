@@ -22,19 +22,26 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressionAlgorithm
+from repro.compression.base import CompressionAlgorithm, as_entry
 from repro.units import MEMORY_ENTRY_BYTES
 
 _DICT_ENTRIES = 16
 
 
 class CPackCompressor(CompressionAlgorithm):
-    """C-PACK compressor for 128 B entries (sequential dictionary)."""
+    """C-PACK compressor for 128 B entries (sequential dictionary).
+
+    Bulk ``(n, 32)`` input goes through the inherited
+    :meth:`~repro.compression.base.CompressionAlgorithm.compressed_sizes`
+    fallback, which compresses each entry independently — the FIFO
+    dictionary resets at every entry boundary, as entries are
+    independently addressable in hardware.
+    """
 
     name = "cpack"
 
     def compressed_size(self, words: np.ndarray) -> int:
-        words = np.asarray(words, dtype=np.uint32).reshape(-1)
+        words = as_entry(words)
         dictionary: list[int] = []
         bits = 0
         for raw in words:

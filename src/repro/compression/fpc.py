@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressionAlgorithm, as_blocks
+from repro.compression.base import CompressionAlgorithm, as_blocks, as_entry
 from repro.units import MEMORY_ENTRY_BYTES
 
 _PREFIX_BITS = 3
@@ -59,7 +59,7 @@ class FPCCompressor(CompressionAlgorithm):
     name = "fpc"
 
     def compressed_size(self, words: np.ndarray) -> int:
-        words = np.asarray(words, dtype=np.uint32).reshape(-1)
+        words = as_entry(words)
         bits = 0
         index = 0
         while index < words.size:

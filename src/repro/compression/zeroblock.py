@@ -9,7 +9,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import as_blocks
+from repro.compression.base import CompressionAlgorithm, as_blocks, as_entry
+from repro.units import MEMORY_ENTRY_BYTES
+
+
+class ZeroBlockCompressor(CompressionAlgorithm):
+    """The 0 B zero-entry class as a standalone codec.
+
+    All-zero entries store nothing (the metadata already encodes the
+    class); anything else is stored raw.  Exists so the zero-entry
+    special case honours the same scalar/bulk interface as the other
+    algorithms — the bulk path takes the ``(n, 32)`` contract and is
+    fully vectorised.
+    """
+
+    name = "zeroblock"
+
+    def compressed_size(self, words: np.ndarray) -> int:
+        return 0 if not as_entry(words).any() else MEMORY_ENTRY_BYTES
+
+    def compressed_sizes(self, blocks: np.ndarray) -> np.ndarray:
+        blocks = as_blocks(blocks)
+        return np.where(zero_mask(blocks), 0, MEMORY_ENTRY_BYTES).astype(
+            np.int64
+        )
 
 
 def zero_mask(blocks: np.ndarray) -> np.ndarray:

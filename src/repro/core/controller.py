@@ -19,7 +19,6 @@ from repro.compression.bpc import BPCCompressor
 from repro.core import targets as targets_mod
 from repro.core.allocator import BuddyAllocator
 from repro.core.entry import TargetRatio
-from repro.core.histogram import SectorHistogram
 from repro.core.profiler import BenchmarkProfile, profile_benchmark, profile_snapshots
 from repro.core.targets import DesignPoint
 from repro.units import GIB, MEMORY_ENTRY_BYTES

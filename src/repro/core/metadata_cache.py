@@ -11,7 +11,7 @@ regular physical-address hash.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.translation import ENTRIES_PER_METADATA_LINE
 

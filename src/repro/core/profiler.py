@@ -11,13 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.compression.base import CompressionAlgorithm
 from repro.compression.bpc import BPCCompressor
 from repro.core.histogram import SectorHistogram
 from repro.workloads.snapshots import (
-    MemorySnapshot,
     SnapshotConfig,
     generate_run,
 )

@@ -45,8 +45,10 @@ def buddy_batch_speedups(
             to 256).
     """
     rows = []
-    for name in NETWORK_BUILDERS:
-        ratio = compression_ratios.get(name, 1.5)
+    # Only the networks a ratio was measured for: subset runs must not
+    # pad the table with un-measured entries.
+    for name in (n for n in NETWORK_BUILDERS if n in compression_ratios):
+        ratio = compression_ratios[name]
         network = build_network(name)
         baseline = min(batch_cap, max_batch_size(network, device_bytes))
         expanded = min(

@@ -9,7 +9,7 @@ the analytical models consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dlmodel.layers import (
     Conv2D,

@@ -12,7 +12,6 @@ shape.
 
 from __future__ import annotations
 
-from repro.dlmodel.layers import _volume
 from repro.dlmodel.memory import BYTES_PER_ELEMENT
 from repro.dlmodel.networks import Network, build_network
 

@@ -1,0 +1,44 @@
+"""Parallel experiment engine with content-addressed result caching.
+
+The engine turns each analysis study into a named *experiment*: a
+declared parameter space that expands into independent design points,
+a pickle-safe per-point function, and an aggregator that assembles the
+study's result object.  :class:`~repro.engine.runner.ExperimentRunner`
+fans the points out across a ``ProcessPoolExecutor`` and memoises each
+point's result in a content-addressed on-disk cache keyed by
+``(experiment, parameter hash, code-version salt)``, so re-runs and
+partial sweeps are incremental.
+
+Design points are embarrassingly parallel and every synthetic
+substrate draws from named :mod:`repro.rng` streams, so results are
+bit-identical regardless of worker count or completion order.
+"""
+
+from repro.engine.cache import (
+    CacheMiss,
+    ResultCache,
+    code_salt,
+    param_digest,
+    result_digest,
+)
+from repro.engine.registry import (
+    Experiment,
+    experiment_names,
+    get_experiment,
+    register,
+)
+from repro.engine.runner import ExperimentRunner, RunReport
+
+__all__ = [
+    "CacheMiss",
+    "Experiment",
+    "ExperimentRunner",
+    "ResultCache",
+    "RunReport",
+    "code_salt",
+    "experiment_names",
+    "get_experiment",
+    "param_digest",
+    "register",
+    "result_digest",
+]

@@ -1,0 +1,220 @@
+"""Content-addressed on-disk cache for experiment design points.
+
+A cache entry is addressed by ``(experiment name, parameter digest,
+code-version salt)``:
+
+* the *parameter digest* is a SHA-256 over a canonical encoding of the
+  point's parameters (dataclasses, enums, numpy arrays and plain
+  containers all canonicalise deterministically);
+* the *code salt* hashes the source text of the modules an experiment
+  declares as its implementation, so editing the study code invalidates
+  its cached results without touching anyone else's.
+
+Values are stored as pickles under ``<root>/<experiment>/<digest>.pkl``
+with atomic replace, so concurrent writers (parallel sweeps, CI jobs
+sharing a cache volume) never observe torn entries.  The root defaults
+to ``.repro-cache/`` in the working directory and can be overridden
+with the ``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import importlib
+import inspect
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+#: Environment override for the cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache root (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump to invalidate every cached result at once (format changes).
+CACHE_FORMAT_VERSION = 1
+
+
+class CacheMiss(KeyError):
+    """Raised by :meth:`ResultCache.get` when a key is absent."""
+
+
+def canonical(value):
+    """Deterministic, hash-stable canonical form of a parameter value.
+
+    Supports the types experiment parameters are built from: ``None``,
+    ``bool``/``int``/``float``/``str``/``bytes``, enums, (frozen)
+    dataclasses, numpy arrays and scalars, and lists/tuples/dicts of
+    the above.  Anything else raises ``TypeError`` — silent fallback
+    reprs would make cache keys unstable across processes.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ("float", repr(value))
+    if isinstance(value, bytes):
+        return ("bytes", hashlib.sha256(value).hexdigest())
+    if isinstance(value, Enum):
+        return ("enum", type(value).__qualname__, value.name)
+    if is_dataclass(value) and not isinstance(value, type):
+        # Fields declared volatile (wall-clock timings and other
+        # measured-not-computed values) are excluded, so content
+        # digests stay deterministic run to run.
+        return (
+            "dataclass",
+            type(value).__qualname__,
+            tuple(
+                (f.name, canonical(getattr(value, f.name)))
+                for f in fields(value)
+                if not f.metadata.get("volatile", False)
+            ),
+        )
+    if isinstance(value, np.ndarray):
+        blob = np.ascontiguousarray(value).tobytes()
+        return (
+            "ndarray",
+            str(value.dtype),
+            value.shape,
+            hashlib.sha256(blob).hexdigest(),
+        )
+    if isinstance(value, np.generic):
+        return canonical(value.item())
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canonical(v) for v in value))
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        return ("map", tuple((str(k), canonical(v)) for k, v in items))
+    raise TypeError(
+        f"cannot canonicalise {type(value).__qualname__} for cache keying"
+    )
+
+
+def param_digest(experiment: str, params: dict, salt: str = "") -> str:
+    """Content digest of one design point's parameters."""
+    blob = repr((CACHE_FORMAT_VERSION, experiment, salt, canonical(params)))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def result_digest(value) -> str:
+    """Content digest of a result *by value*.
+
+    Pickle bytes vary with object-graph sharing (a result that crossed
+    a process boundary pickles differently from an identical one built
+    in-process), so byte-identity checks — ``repro sweep`` prints this
+    digest for exactly that purpose — go through :func:`canonical`.
+    """
+    return hashlib.sha256(repr(canonical(value)).encode("utf-8")).hexdigest()[:32]
+
+
+@lru_cache(maxsize=None)
+def code_salt(module_names: tuple[str, ...]) -> str:
+    """Hash of the source text of the named modules.
+
+    Experiments declare the modules that implement them; editing any of
+    those files changes the salt and invalidates the cached results.
+    """
+    import repro
+
+    digest = hashlib.sha256()
+    digest.update(repro.__version__.encode("utf-8"))
+    for name in sorted(set(module_names)):
+        module = importlib.import_module(name)
+        digest.update(name.encode("utf-8"))
+        try:
+            digest.update(inspect.getsource(module).encode("utf-8"))
+        except OSError:
+            # Source unavailable (frozen/zipapp): fall back to the
+            # package version captured above.
+            continue
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Address of one cached design-point result."""
+
+    experiment: str
+    digest: str
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+
+
+class ResultCache:
+    """Pickle-backed content-addressed cache on the local filesystem."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        root = root or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: CacheKey) -> Path:
+        return self.root / key.experiment / f"{key.digest}.pkl"
+
+    def contains(self, key: CacheKey) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: CacheKey):
+        """Load a cached value; raises :class:`CacheMiss` if absent."""
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            raise CacheMiss(f"{key.experiment}/{key.digest}") from None
+        try:
+            value = pickle.loads(blob)
+        except Exception:
+            # A torn or stale entry is a miss, not an error; drop it so
+            # the rerun repairs the cache.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            raise CacheMiss(f"{key.experiment}/{key.digest} (corrupt)") from None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: CacheKey, value) -> None:
+        """Store a value atomically (write temp file, then replace)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self.stats.stores += 1
+
+    def clear(self, experiment: str | None = None) -> int:
+        """Delete cached entries; returns the number removed."""
+        roots = [self.root / experiment] if experiment else [self.root]
+        removed = 0
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for path in root.rglob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,488 @@
+"""Built-in experiments: one per analysis study.
+
+Each study module owns its pickle-safe per-point function (named
+``*_point``); this module declares the parameter spaces and reducers
+and registers everything.  Study modules are imported lazily inside
+the callables so importing the engine stays cheap and cycle-free.
+
+Registered experiments::
+
+    compression.fig3   free-size BPC ratios per benchmark (Fig. 3)
+    compression.fig7   naive / per-allocation / final designs (Fig. 7)
+    compression.fig8   temporal stability of buddy traffic (Fig. 8)
+    compression.fig9   Buddy Threshold sweep (Fig. 9)
+    metadata.fig5b     metadata-cache hit rate vs capacity (Fig. 5b)
+    correlation.fig10  fast-vs-reference simulator correlation (Fig. 10)
+    perf.fig11         speedup vs ideal GPU across link speeds (Fig. 11)
+    um.fig12           UM / pinned oversubscription slowdowns (Fig. 12)
+    dl.ratios          per-network buddy compression ratios
+    dl.fig13           the four DL case-study panels (Fig. 13)
+"""
+
+from __future__ import annotations
+
+from repro.engine.registry import Experiment, register
+
+#: Modules every study's results depend on (workload substrate).
+_SUBSTRATE_MODULES = (
+    "repro.rng",
+    "repro.workloads.calibration",
+    "repro.workloads.catalog",
+    "repro.workloads.snapshots",
+    "repro.workloads.valuemodels",
+)
+
+#: Additional modules behind the Buddy static pipeline.
+_PIPELINE_MODULES = _SUBSTRATE_MODULES + (
+    "repro.compression.bpc",
+    "repro.compression.sectors",
+    "repro.core.controller",
+    "repro.core.profiler",
+    "repro.core.targets",
+)
+
+#: Modules behind the timing simulators.
+_SIMULATOR_MODULES = _SUBSTRATE_MODULES + (
+    "repro.gpusim.compression",
+    "repro.gpusim.config",
+    "repro.gpusim.simulator",
+    "repro.workloads.traces",
+)
+
+
+def _benchmark_names() -> tuple[str, ...]:
+    from repro.workloads.catalog import ALL_BENCHMARKS
+
+    return tuple(b.name for b in ALL_BENCHMARKS)
+
+
+def _per_benchmark_expand(params: dict) -> list[dict]:
+    """One point per benchmark, carrying the remaining parameters."""
+    shared = {k: v for k, v in params.items() if k != "benchmarks"}
+    return [
+        {"benchmark": name, **shared} for name in params["benchmarks"]
+    ]
+
+
+def _keyed_by_benchmark(results: list, params: dict) -> dict:
+    return dict(zip(params["benchmarks"], results))
+
+
+# ---------------------------------------------------------------------------
+# compression.* (Figs. 3, 7, 8, 9)
+# ---------------------------------------------------------------------------
+def _fig3_defaults() -> dict:
+    from repro.workloads.snapshots import SnapshotConfig
+
+    return {"benchmarks": _benchmark_names(), "config": SnapshotConfig()}
+
+
+def _fig3_point(point: dict):
+    from repro.analysis.compression_study import fig3_row
+
+    return fig3_row(point["benchmark"], point["config"])
+
+
+def _fig3_aggregate(results: list, params: dict) -> list:
+    return list(results)
+
+
+register(
+    Experiment(
+        name="compression.fig3",
+        title="Fig. 3: free-size BPC compression ratios",
+        defaults=_fig3_defaults,
+        expand=_per_benchmark_expand,
+        run_point=_fig3_point,
+        aggregate=_fig3_aggregate,
+        salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+    )
+)
+
+
+def _fig7_defaults() -> dict:
+    from repro.core.targets import FINAL, NAIVE, PER_ALLOCATION
+    from repro.workloads.snapshots import SnapshotConfig
+
+    return {
+        "benchmarks": _benchmark_names(),
+        "config": SnapshotConfig(),
+        "designs": (NAIVE, PER_ALLOCATION, FINAL),
+    }
+
+
+def _fig7_point(point: dict):
+    from repro.analysis.compression_study import fig7_benchmark
+
+    return fig7_benchmark(point["benchmark"], point["config"], point["designs"])
+
+
+def _fig7_aggregate(results: list, params: dict):
+    from repro.analysis.compression_study import DesignPointStudy
+
+    return DesignPointStudy(_keyed_by_benchmark(results, params))
+
+
+register(
+    Experiment(
+        name="compression.fig7",
+        title="Fig. 7: design points (naive / per-allocation / final)",
+        defaults=_fig7_defaults,
+        expand=_per_benchmark_expand,
+        run_point=_fig7_point,
+        aggregate=_fig7_aggregate,
+        salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+    )
+)
+
+
+def _fig8_defaults() -> dict:
+    from repro.workloads.snapshots import SnapshotConfig
+
+    return {
+        "benchmarks": ("ResNet50", "SqueezeNet"),
+        "config": SnapshotConfig(),
+    }
+
+
+def _fig8_point(point: dict):
+    from repro.analysis.compression_study import fig8_benchmark
+
+    return fig8_benchmark(point["benchmark"], point["config"])
+
+
+register(
+    Experiment(
+        name="compression.fig8",
+        title="Fig. 8: temporal stability of buddy traffic",
+        defaults=_fig8_defaults,
+        expand=_per_benchmark_expand,
+        run_point=_fig8_point,
+        aggregate=_keyed_by_benchmark,
+        salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+    )
+)
+
+
+def _fig9_defaults() -> dict:
+    from repro.workloads.snapshots import SnapshotConfig
+
+    return {
+        "benchmarks": _benchmark_names(),
+        "thresholds": (0.10, 0.20, 0.30, 0.40),
+        "config": SnapshotConfig(),
+    }
+
+
+def _fig9_point(point: dict):
+    from repro.analysis.compression_study import fig9_benchmark
+
+    return fig9_benchmark(
+        point["benchmark"], point["thresholds"], point["config"]
+    )
+
+
+register(
+    Experiment(
+        name="compression.fig9",
+        title="Fig. 9: Buddy Threshold sweep",
+        defaults=_fig9_defaults,
+        expand=_per_benchmark_expand,
+        run_point=_fig9_point,
+        aggregate=_keyed_by_benchmark,
+        salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# metadata.fig5b
+# ---------------------------------------------------------------------------
+def _fig5b_defaults() -> dict:
+    from repro.analysis.metadata_study import DEFAULT_SIZES
+    from repro.workloads.snapshots import SnapshotConfig
+    from repro.workloads.traces import TraceConfig
+
+    return {
+        "benchmarks": _benchmark_names(),
+        "sizes": DEFAULT_SIZES,
+        "trace_config": TraceConfig(
+            snapshot_config=SnapshotConfig(scale=1.0 / 2048)
+        ),
+    }
+
+
+def _fig5b_point(point: dict):
+    from repro.analysis.metadata_study import metadata_row
+
+    return metadata_row(point["benchmark"], point["sizes"], point["trace_config"])
+
+
+def _fig5b_aggregate(results: list, params: dict) -> list:
+    return list(results)
+
+
+register(
+    Experiment(
+        name="metadata.fig5b",
+        title="Fig. 5b: metadata-cache hit rate vs capacity",
+        defaults=_fig5b_defaults,
+        expand=_per_benchmark_expand,
+        run_point=_fig5b_point,
+        aggregate=_fig5b_aggregate,
+        salt_modules=_SUBSTRATE_MODULES
+        + (
+            "repro.analysis.metadata_study",
+            "repro.core.metadata_cache",
+            "repro.workloads.traces",
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# correlation.fig10
+# ---------------------------------------------------------------------------
+def _fig10_defaults() -> dict:
+    from repro.analysis.correlation_study import DEFAULT_BENCHMARKS
+
+    return {
+        "benchmarks": DEFAULT_BENCHMARKS,
+        "instruction_scales": (6, 18),
+        "sm_count": 4,
+        "warps_per_sm": 6,
+    }
+
+
+def _fig10_expand(params: dict) -> list[dict]:
+    return [
+        {
+            "benchmark": name,
+            "memory_instructions": scale,
+            "sm_count": params["sm_count"],
+            "warps_per_sm": params["warps_per_sm"],
+        }
+        for name in params["benchmarks"]
+        for scale in params["instruction_scales"]
+    ]
+
+
+def _fig10_point(point: dict):
+    from repro.analysis.correlation_study import correlation_point
+
+    return correlation_point(
+        point["benchmark"],
+        point["memory_instructions"],
+        point["sm_count"],
+        point["warps_per_sm"],
+    )
+
+
+def _fig10_aggregate(results: list, params: dict):
+    from repro.analysis.correlation_study import CorrelationResult
+
+    return CorrelationResult(list(results))
+
+
+register(
+    Experiment(
+        name="correlation.fig10",
+        title="Fig. 10: fast-vs-reference simulator correlation",
+        defaults=_fig10_defaults,
+        expand=_fig10_expand,
+        run_point=_fig10_point,
+        aggregate=_fig10_aggregate,
+        salt_modules=_SIMULATOR_MODULES
+        + (
+            "repro.analysis.correlation_study",
+            "repro.gpusim.reference",
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# perf.fig11
+# ---------------------------------------------------------------------------
+def _fig11_defaults() -> dict:
+    from repro.analysis.perf_study import LINK_SWEEP
+    from repro.gpusim.config import scaled_config
+    from repro.workloads.snapshots import SnapshotConfig
+    from repro.workloads.traces import TraceConfig
+
+    config = scaled_config()
+    return {
+        "benchmarks": _benchmark_names(),
+        "config": config,
+        "trace_config": TraceConfig(
+            sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
+        ),
+        "link_sweep": LINK_SWEEP,
+        "profile_config": SnapshotConfig(scale=1.0 / 65536),
+    }
+
+
+def _fig11_point(point: dict):
+    from repro.analysis.perf_study import perf_benchmark_row
+
+    return perf_benchmark_row(
+        point["benchmark"],
+        point["config"],
+        point["trace_config"],
+        point["link_sweep"],
+        point["profile_config"],
+    )
+
+
+def _fig11_aggregate(results: list, params: dict):
+    from repro.analysis.perf_study import PerfStudyResult
+
+    return PerfStudyResult(list(results))
+
+
+register(
+    Experiment(
+        name="perf.fig11",
+        title="Fig. 11: performance vs ideal large-memory GPU",
+        defaults=_fig11_defaults,
+        expand=_per_benchmark_expand,
+        run_point=_fig11_point,
+        aggregate=_fig11_aggregate,
+        salt_modules=_SIMULATOR_MODULES
+        + _PIPELINE_MODULES
+        + ("repro.analysis.perf_study",),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# um.fig12
+# ---------------------------------------------------------------------------
+def _fig12_defaults() -> dict:
+    from repro.analysis.um_study import FIG12_BENCHMARKS, FIG12_LEVELS
+    from repro.um.oversubscription import UMConfig
+
+    return {
+        "benchmarks": FIG12_BENCHMARKS,
+        "levels": FIG12_LEVELS,
+        "config": UMConfig(),
+    }
+
+
+def _fig12_point(point: dict):
+    from repro.analysis.um_study import um_benchmark_curve
+
+    return um_benchmark_curve(
+        point["benchmark"], point["levels"], point["config"]
+    )
+
+
+def _fig12_aggregate(results: list, params: dict) -> list:
+    return [row for curve in results for row in curve]
+
+
+register(
+    Experiment(
+        name="um.fig12",
+        title="Fig. 12: UM oversubscription slowdowns",
+        defaults=_fig12_defaults,
+        expand=_per_benchmark_expand,
+        run_point=_fig12_point,
+        aggregate=_fig12_aggregate,
+        salt_modules=(
+            "repro.rng",
+            "repro.analysis.um_study",
+            "repro.um.oversubscription",
+            "repro.um.pages",
+            "repro.workloads.catalog",
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# dl.ratios / dl.fig13
+# ---------------------------------------------------------------------------
+def _dl_networks() -> tuple[str, ...]:
+    from repro.dlmodel.networks import NETWORK_BUILDERS
+
+    return tuple(NETWORK_BUILDERS)
+
+
+def _dl_ratio_defaults() -> dict:
+    from repro.workloads.snapshots import SnapshotConfig
+
+    return {
+        "networks": _dl_networks(),
+        "config": SnapshotConfig(scale=1.0 / 65536),
+    }
+
+
+def _dl_expand(params: dict) -> list[dict]:
+    return [
+        {"network": name, "config": params["config"]}
+        for name in params["networks"]
+    ]
+
+
+def _dl_ratio_point(point: dict):
+    from repro.analysis.dl_study import network_ratio
+
+    return network_ratio(point["network"], point["config"])
+
+
+def _dl_ratio_aggregate(results: list, params: dict) -> dict:
+    return dict(zip(params["networks"], results))
+
+
+register(
+    Experiment(
+        name="dl.ratios",
+        title="Per-network buddy compression ratios (Fig. 13 input)",
+        defaults=_dl_ratio_defaults,
+        expand=_dl_expand,
+        run_point=_dl_ratio_point,
+        aggregate=_dl_ratio_aggregate,
+        salt_modules=_PIPELINE_MODULES + ("repro.analysis.dl_study",),
+    )
+)
+
+
+def _fig13_defaults() -> dict:
+    from repro.analysis.dl_study import BATCH_SWEEP
+
+    params = _dl_ratio_defaults()
+    params.update({"batches": BATCH_SWEEP, "epochs": 100})
+    return params
+
+
+def _fig13_expand(params: dict) -> list[dict]:
+    return _dl_expand(params)
+
+
+def _fig13_aggregate(results: list, params: dict):
+    from repro.analysis.dl_study import assemble_dl_study
+
+    ratios = dict(zip(params["networks"], results))
+    return assemble_dl_study(ratios, params["batches"], params["epochs"])
+
+
+register(
+    Experiment(
+        name="dl.fig13",
+        title="Fig. 13: the DL-training case study",
+        defaults=_fig13_defaults,
+        expand=_fig13_expand,
+        run_point=_dl_ratio_point,
+        aggregate=_fig13_aggregate,
+        salt_modules=_PIPELINE_MODULES
+        + (
+            "repro.analysis.dl_study",
+            "repro.dlmodel.casestudy",
+            "repro.dlmodel.convergence",
+            "repro.dlmodel.memory",
+            "repro.dlmodel.networks",
+            "repro.dlmodel.throughput",
+        ),
+    )
+)

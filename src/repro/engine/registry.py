@@ -1,0 +1,89 @@
+"""The experiment registry.
+
+An :class:`Experiment` declares everything the runner needs to execute
+a study as a cached, parallel sweep:
+
+* ``defaults`` — the study's full parameter dictionary (every value
+  concrete, so parameter hashes are stable);
+* ``expand`` — parameters → ordered list of design-point dictionaries;
+* ``run_point`` — a **module-level, pickle-safe** callable executing
+  one design point (workers import it by reference);
+* ``aggregate`` — point results (in expansion order) + parameters →
+  the study's result object;
+* ``salt_modules`` — the modules whose source text forms the cache's
+  code-version salt.
+
+The built-in experiments (one per analysis study) live in
+:mod:`repro.engine.experiments` and register on first lookup.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_REGISTRY: dict[str, "Experiment"] = {}
+
+#: Module defining the built-in experiments, imported lazily so the
+#: registry itself stays dependency-free.
+_BUILTINS_MODULE = "repro.engine.experiments"
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered study: parameter space, point function, reducer."""
+
+    name: str
+    title: str
+    defaults: Callable[[], dict[str, Any]]
+    expand: Callable[[dict[str, Any]], list[dict[str, Any]]]
+    run_point: Callable[[dict[str, Any]], Any]
+    aggregate: Callable[[list[Any], dict[str, Any]], Any]
+    salt_modules: tuple[str, ...] = field(default_factory=tuple)
+
+    def resolve_params(self, overrides: dict[str, Any] | None) -> dict[str, Any]:
+        """Merge caller overrides into the declared defaults.
+
+        ``None`` overrides are treated as "use the default", matching
+        the study functions' keyword conventions; unknown keys raise so
+        typos never silently miss the cache.
+        """
+        params = self.defaults()
+        for key, value in (overrides or {}).items():
+            if key not in params:
+                raise KeyError(
+                    f"experiment {self.name!r} has no parameter {key!r} "
+                    f"(expected one of {sorted(params)})"
+                )
+            if value is not None:
+                params[key] = value
+        return params
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (last registration wins)."""
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def _ensure_builtins() -> None:
+    importlib.import_module(_BUILTINS_MODULE)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up an experiment by name, loading built-ins on demand."""
+    if name not in _REGISTRY:
+        _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {experiment_names()}"
+        ) from None
+
+
+def experiment_names() -> list[str]:
+    """Sorted names of every registered experiment."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)

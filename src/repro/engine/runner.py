@@ -1,0 +1,225 @@
+"""The parallel, cache-aware experiment runner.
+
+:class:`ExperimentRunner` executes a registered experiment: expand the
+parameter space into design points, satisfy what it can from the
+:class:`~repro.engine.cache.ResultCache`, fan the misses out across a
+``ProcessPoolExecutor`` (or run them inline for ``workers <= 1``), and
+reduce with the experiment's aggregator.
+
+Determinism: every synthetic substrate in this repository draws from
+named :mod:`repro.rng` streams, so a design point's result depends
+only on its parameters — never on scheduling.  As defence in depth the
+worker wrapper additionally seeds numpy's *global* generator from the
+point's content digest (via :func:`repro.rng.stream_seed`) before the
+point function runs, so even code that reaches for ``np.random``
+module functions is deterministic per point rather than per process.
+Results are collected in expansion order, making ``--workers N``
+output byte-identical to serial runs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro import rng as rng_lib
+from repro.engine.cache import CacheKey, CacheMiss, ResultCache, code_salt, param_digest
+from repro.engine.registry import Experiment, get_experiment
+
+_UNSET = object()
+
+
+def run_point_seeded(
+    run_point: Callable[[dict], Any], point: dict, seed: int
+) -> Any:
+    """Execute one design point with deterministic global-RNG state.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it by reference
+    together with the experiment's (also module-level) point function.
+    The caller's global-RNG state is restored afterwards so inline
+    (serial) execution does not clobber library users' ``np.random``
+    streams as a side effect.
+    """
+    state = np.random.get_state()
+    try:
+        np.random.seed(seed & 0xFFFF_FFFF)
+        return run_point(point)
+    finally:
+        np.random.set_state(state)
+
+
+@dataclass
+class RunReport:
+    """What one :meth:`ExperimentRunner.run_report` call did."""
+
+    experiment: str
+    points: int
+    executed: int
+    cache_hits: int
+    workers: int
+    seconds: float
+
+    @property
+    def from_cache(self) -> bool:
+        return self.executed == 0 and self.points > 0
+
+    def summary(self) -> str:
+        source = "cache" if self.from_cache else f"{self.workers} worker(s)"
+        return (
+            f"[{self.experiment}] {self.points} point(s): "
+            f"{self.cache_hits} cached, {self.executed} executed "
+            f"({source}, {self.seconds:.2f}s)"
+        )
+
+
+class ExperimentRunner:
+    """Run registered experiments with caching and process fan-out.
+
+    Args:
+        workers: Worker processes for design points (``<= 1`` = inline).
+        cache: A :class:`ResultCache`, or ``None`` to disable caching
+            (the default — library callers opt in; the CLI opts in for
+            every ``repro run`` / ``repro sweep``).
+        seed: Base seed for the per-point global-RNG defence seeding.
+        offline: If true, never execute points — raise
+            :class:`~repro.engine.cache.CacheMiss` listing what is
+            absent instead (``repro report --from-cache``).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        seed: int = rng_lib.DEFAULT_SEED,
+        offline: bool = False,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        self.seed = seed
+        self.offline = offline
+        self.last_report: RunReport | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, name: str, params: dict | None = None) -> Any:
+        """Run an experiment end to end and return its aggregate."""
+        value, _ = self.run_report(name, params)
+        return value
+
+    def run_report(
+        self, name: str, params: dict | None = None
+    ) -> tuple[Any, RunReport]:
+        """Like :meth:`run`, also returning a :class:`RunReport`."""
+        experiment = get_experiment(name)
+        resolved = experiment.resolve_params(params)
+        points = experiment.expand(resolved)
+        started = time.perf_counter()
+        results, hits, executed = self.map_points(experiment, points)
+        value = experiment.aggregate(results, resolved)
+        report = RunReport(
+            experiment=experiment.name,
+            points=len(points),
+            executed=executed,
+            cache_hits=hits,
+            workers=self.workers,
+            seconds=time.perf_counter() - started,
+        )
+        self.last_report = report
+        return value, report
+
+    # ------------------------------------------------------------------
+    def map_points(
+        self, experiment: Experiment, points: list[dict]
+    ) -> tuple[list[Any], int, int]:
+        """Resolve every point (cache or execution), in point order.
+
+        Returns ``(results, cache_hits, executed)``.
+        """
+        salt = code_salt(experiment.salt_modules)
+        # The runner seed is part of the address: a point executed
+        # under one --seed must not be served for another (the seed
+        # feeds the per-point global-RNG derivation below).
+        digests = [
+            param_digest(
+                experiment.name,
+                {"params": point, "runner_seed": self.seed},
+                salt,
+            )
+            for point in points
+        ]
+        keys = [CacheKey(experiment.name, digest) for digest in digests]
+        results: list[Any] = [_UNSET] * len(points)
+
+        pending: list[int] = []
+        hits = 0
+        for index, key in enumerate(keys):
+            if self.cache is not None:
+                try:
+                    results[index] = self.cache.get(key)
+                    hits += 1
+                    continue
+                except CacheMiss:
+                    pass
+            pending.append(index)
+
+        if pending and self.offline:
+            missing = ", ".join(digests[i] for i in pending[:4])
+            raise CacheMiss(
+                f"{experiment.name}: {len(pending)} of {len(points)} design "
+                f"point(s) not cached (e.g. {missing}); rerun without "
+                "--from-cache to populate the cache"
+            )
+
+        seeds = {
+            index: rng_lib.stream_seed(
+                f"engine/{experiment.name}/{digests[index]}", self.seed
+            )
+            for index in pending
+        }
+        # Results are stored as each point finishes (not after the whole
+        # batch), so an interrupted sweep keeps its completed work and
+        # the rerun is incremental.
+        def finish(index: int, value: Any) -> None:
+            results[index] = value
+            if self.cache is not None:
+                self.cache.put(keys[index], value)
+
+        if len(pending) > 1 and self.workers > 1:
+            self._execute_parallel(experiment, points, pending, seeds, finish)
+        else:
+            for index in pending:
+                finish(
+                    index,
+                    run_point_seeded(
+                        experiment.run_point, points[index], seeds[index]
+                    ),
+                )
+        return results, hits, len(pending)
+
+    def _execute_parallel(
+        self,
+        experiment: Experiment,
+        points: list[dict],
+        pending: list[int],
+        seeds: dict[int, int],
+        finish: Callable[[int, Any], None],
+    ) -> None:
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    run_point_seeded,
+                    experiment.run_point,
+                    points[index],
+                    seeds[index],
+                ): index
+                for index in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(futures[future], future.result())

@@ -21,7 +21,7 @@ The memory pipeline implements the three Fig.-11 modes:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.metadata_cache import MetadataCache
 from repro.gpusim.cache import FULL_MASK, SectoredCache, sector_mask

@@ -11,7 +11,7 @@ FF_HPGMG performs synchronous host copies in its native form.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.units import GB, MB
 

@@ -19,7 +19,9 @@ from the calibrated allocation specs in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import os
+from dataclasses import dataclass, replace
+from functools import lru_cache
 
 import numpy as np
 
@@ -35,7 +37,7 @@ from repro.workloads.calibration import (
     data_spec,
 )
 from repro.workloads.catalog import get_benchmark
-from repro.workloads.valuemodels import EntryClass, generate_entries
+from repro.workloads.valuemodels import generate_entries
 
 #: Snapshots per run, per the paper.
 SNAPSHOTS_PER_RUN = 10
@@ -235,10 +237,46 @@ def _classes_from_latents(latents: np.ndarray, mix: ClassMix) -> np.ndarray:
 def generate_snapshot(
     benchmark: str, index: int, config: SnapshotConfig | None = None
 ) -> MemorySnapshot:
-    """Generate dump ``index`` (0-based) of a benchmark's run."""
+    """Generate dump ``index`` (0-based) of a benchmark's run.
+
+    Results are memoised per process (see :func:`clear_snapshot_cache`):
+    the profile/evaluate pipeline and the experiment engine's worker
+    processes ask for the same dumps repeatedly, and regeneration —
+    not analysis — would otherwise dominate the sweep hot path.  The
+    returned snapshot's arrays are marked read-only because they are
+    shared between callers; analyses that need to modify entries must
+    copy (``stacked_data`` already returns a fresh array).
+    """
     config = config or SnapshotConfig()
     if not 0 <= index < config.snapshots:
         raise ValueError(f"snapshot index {index} outside 0..{config.snapshots - 1}")
+    return _generate_snapshot_cached(get_benchmark(benchmark).name, index, config)
+
+
+#: Entries kept by the per-process snapshot memo (override with the
+#: ``REPRO_SNAPSHOT_CACHE`` environment variable; 0 disables).
+_SNAPSHOT_CACHE_SIZE = int(os.environ.get("REPRO_SNAPSHOT_CACHE", "64"))
+
+
+def clear_snapshot_cache() -> None:
+    """Drop the per-process snapshot memo (tests, memory pressure)."""
+    _generate_snapshot_cached.cache_clear()
+
+
+@lru_cache(maxsize=_SNAPSHOT_CACHE_SIZE)
+def _generate_snapshot_cached(
+    benchmark: str, index: int, config: SnapshotConfig
+) -> MemorySnapshot:
+    snapshot = _generate_snapshot(benchmark, index, config)
+    for alloc in snapshot.allocations:
+        alloc.classes.flags.writeable = False
+        alloc.data.flags.writeable = False
+    return snapshot
+
+
+def _generate_snapshot(
+    benchmark: str, index: int, config: SnapshotConfig
+) -> MemorySnapshot:
     spec = data_spec(get_benchmark(benchmark).name)
     counts = _entry_counts(spec, config)
     progress = index / max(config.snapshots - 1, 1)

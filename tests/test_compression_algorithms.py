@@ -35,6 +35,10 @@ class TestBDI:
     def test_zero_block(self):
         assert BDI.compressed_size(np.zeros(32, dtype=np.uint32)) == 1
 
+    def test_scalar_rejects_bulk_input(self):
+        with pytest.raises(ValueError, match="compressed_sizes"):
+            BDI.compressed_size(np.ones((4, 32), dtype=np.uint32))
+
     def test_repeated_block(self):
         block = np.full(32, 0xCAFEBABE, dtype=np.uint32)
         assert BDI.compressed_size(block) == 9
@@ -66,6 +70,10 @@ class TestBDI:
 
 
 class TestFPC:
+    def test_scalar_rejects_bulk_input(self):
+        with pytest.raises(ValueError, match="compressed_sizes"):
+            FPC.compressed_size(np.ones((4, 32), dtype=np.uint32))
+
     def test_zero_block_uses_runs(self):
         # 32 zero words -> 4 run codes of 8 -> 24 bits -> 3 bytes
         assert FPC.compressed_size(np.zeros(32, dtype=np.uint32)) == 3
@@ -103,6 +111,36 @@ class TestCPack:
     def test_low_byte_words(self):
         block = np.full(32, 0x7F, dtype=np.uint32)
         assert CPACK.compressed_size(block) == (32 * 12 + 7) // 8
+
+    def test_bulk_sizes_match_scalar(self):
+        # Regression: bulk (n, 32) input must yield one size per entry
+        # with the FIFO dictionary reset at entry boundaries, exactly
+        # as if each entry were compressed alone.
+        rng = np.random.default_rng(7)
+        blocks = rng.integers(0, 2**32, size=(16, 32), dtype=np.uint32)
+        blocks[3] = 0
+        blocks[7] = 0x11223344
+        sizes = CPACK.compressed_sizes(blocks)
+        assert sizes.shape == (16,) and sizes.dtype == np.int64
+        expected = [CPACK.compressed_size(b) for b in blocks]
+        np.testing.assert_array_equal(sizes, expected)
+
+    def test_bulk_sizes_accepts_raw_bytes_view(self):
+        # The bulk contract matches the vectorised codecs: anything
+        # as_blocks accepts, including raw float data and empty input.
+        data = np.arange(64, dtype=np.float32)
+        assert CPACK.compressed_sizes(data).shape == (2,)
+        assert CPACK.compressed_sizes(
+            np.zeros((0, 32), dtype=np.uint32)
+        ).shape == (0,)
+
+    def test_scalar_rejects_bulk_input(self):
+        # Regression: compressed_size used to silently flatten (n, 32)
+        # input into one cross-entry dictionary stream and return a
+        # single capped size.
+        blocks = np.ones((4, 32), dtype=np.uint32)
+        with pytest.raises(ValueError, match="compressed_sizes"):
+            CPACK.compressed_size(blocks)
 
     @given(blocks_strategy)
     @settings(max_examples=100, deadline=None)
@@ -174,3 +212,30 @@ class TestZeroBlock:
 
     def test_zero_fraction_empty(self):
         assert zero_fraction(np.zeros((0, 32), dtype=np.uint32)) == 0.0
+
+    def test_compressor_scalar(self):
+        from repro.compression import ZeroBlockCompressor
+
+        zb = ZeroBlockCompressor()
+        assert zb.compressed_size(np.zeros(32, dtype=np.uint32)) == 0
+        assert (
+            zb.compressed_size(np.ones(32, dtype=np.uint32))
+            == MEMORY_ENTRY_BYTES
+        )
+        with pytest.raises(ValueError, match="compressed_sizes"):
+            zb.compressed_size(np.zeros((4, 32), dtype=np.uint32))
+
+    def test_compressor_bulk_matches_mask(self):
+        from repro.compression import ZeroBlockCompressor
+
+        zb = ZeroBlockCompressor()
+        blocks = np.zeros((6, 32), dtype=np.uint32)
+        blocks[1, 31] = 1
+        blocks[4, 0] = 2
+        sizes = zb.compressed_sizes(blocks)
+        np.testing.assert_array_equal(
+            sizes, np.where(zero_mask(blocks), 0, MEMORY_ENTRY_BYTES)
+        )
+        scalar = [zb.compressed_size(b) for b in blocks]
+        np.testing.assert_array_equal(sizes, scalar)
+        assert zb.compressed_sizes(np.zeros((0, 32), np.uint32)).shape == (0,)

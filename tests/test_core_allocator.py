@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.allocator import Allocation, BuddyAllocator, OutOfMemoryError
+from repro.core.allocator import BuddyAllocator, OutOfMemoryError
 from repro.core.entry import TargetRatio
 from repro.core.metadata_cache import MetadataCache
 from repro.core.translation import (

@@ -1,12 +1,10 @@
 """Tests for the profile -> targets -> evaluate pipeline (Figs. 7-9)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
     BuddyCompressor,
     BuddyConfig,
-    profile_benchmark,
     select_naive,
     select_per_allocation,
     selection_ratio,

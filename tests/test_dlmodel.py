@@ -18,7 +18,6 @@ from repro.dlmodel import (
 )
 from repro.dlmodel.layers import Conv2D, Dense, Pool2D
 from repro.dlmodel.memory import TITAN_XP_BYTES, transition_batch
-from repro.units import GIB
 
 
 class TestLayers:

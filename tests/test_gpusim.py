@@ -13,7 +13,6 @@ from repro.gpusim import (
     scaled_config,
 )
 from repro.gpusim.cache import SectoredCache, sector_mask
-from repro.gpusim.config import GPUConfig
 from repro.gpusim.dram import ChannelSet
 from repro.gpusim.interconnect import Interconnect
 from repro.gpusim.reference import CycleSteppedReference

@@ -6,7 +6,7 @@ import pytest
 from repro.gpusim.trace import Op
 from repro.units import MEMORY_ENTRY_BYTES
 from repro.workloads.snapshots import SnapshotConfig
-from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
+from repro.workloads.traces import TraceConfig, generate_trace
 
 SMALL = TraceConfig(
     sm_count=4,

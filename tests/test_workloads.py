@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.compression import BPCCompressor, sectors_for_sizes
@@ -212,3 +212,30 @@ class TestCalibrationQuality:
         assert 2.1 < gmeans["hpc"] < 2.9
         assert 1.5 < gmeans["dl"] < 2.1
         assert gmeans["hpc"] > gmeans["dl"]  # the paper's headline ordering
+
+
+class TestSnapshotMemo:
+    def test_memoised_per_process_and_read_only(self):
+        from repro.workloads.snapshots import clear_snapshot_cache
+
+        clear_snapshot_cache()
+        first = generate_snapshot("356.sp", 0, SMALL)
+        again = generate_snapshot("356.sp", 0, SMALL)
+        assert again is first  # memoised: same object, no regeneration
+        for alloc in first.allocations:
+            assert not alloc.data.flags.writeable
+            assert not alloc.classes.flags.writeable
+            with pytest.raises(ValueError):
+                alloc.data[0, 0] = 1
+
+    def test_clear_regenerates_identical_content(self):
+        from repro.workloads.snapshots import clear_snapshot_cache
+
+        clear_snapshot_cache()
+        first = generate_snapshot("370.bt", 2, SMALL)
+        clear_snapshot_cache()
+        fresh = generate_snapshot("370.bt", 2, SMALL)
+        assert fresh is not first
+        np.testing.assert_array_equal(
+            fresh.stacked_data(), first.stacked_data()
+        )
