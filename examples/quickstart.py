@@ -7,36 +7,49 @@ Buddy Threshold (with the 16x zero-page optimisation), then evaluate
 compression ratio and buddy-memory traffic on the reference run — and
 finally places the allocations into a modelled 12 GB GPU with its 3x
 buddy carve-out.
+
+The pipeline executes through the experiment engine (pass --workers /
+--cache-dir / --no-cache), so repeated runs are served from the same
+shared result cache as ``repro run`` and ``repro sweep``.
 """
 
 from repro.core import BuddyCompressor, BuddyConfig
 from repro.core.targets import FINAL, NAIVE
+from repro.engine import example_runner
 from repro.units import GIB, bytes_to_human
 from repro.workloads.snapshots import SnapshotConfig
 
 
 def main() -> None:
-    engine = BuddyCompressor(
-        BuddyConfig(snapshot_config=SnapshotConfig(scale=1.0 / 65536))
-    )
+    runner = example_runner(description=__doc__)
+    config = SnapshotConfig(scale=1.0 / 65536)
     benchmark = "VGG16"
 
     print(f"== Buddy Compression on {benchmark} ==")
-    profile = engine.profile(benchmark)
-    print(f"profiled {len(profile.allocations)} allocations")
+    study = runner.run(
+        "compression.fig7",
+        {
+            "benchmarks": (benchmark,),
+            "config": config,
+            "designs": (NAIVE, FINAL),
+        },
+    )
+    results = study.results[benchmark]
+    print(f"profiled {len(results[FINAL.name].selection)} allocations")
 
     for design in (NAIVE, FINAL):
-        selection = engine.select(profile, design)
-        result = engine.evaluate(benchmark, selection, design.name)
+        result = results[design.name]
         targets = ", ".join(
-            f"{name}={target.value}" for name, target in selection.items()
+            f"{name}={target.value}" for name, target in result.selection.items()
         )
         print(f"\n[{design.name}] targets: {targets}")
         print(f"  compression ratio: {result.compression_ratio:.2f}x")
         print(f"  buddy-memory accesses: {result.buddy_access_fraction:.2%} of entries")
 
-    selection = engine.select(profile, FINAL)
-    allocator = engine.place(benchmark, selection, device_capacity=12 * GIB)
+    engine = BuddyCompressor(BuddyConfig(snapshot_config=config))
+    allocator = engine.place(
+        benchmark, results[FINAL.name].selection, device_capacity=12 * GIB
+    )
     print("\nplacement on a 12 GiB GPU (carve-out = 3x device):")
     print(f"  device used: {bytes_to_human(allocator.device_used)}")
     print(f"  carve-out used: {bytes_to_human(allocator.buddy_used)}")

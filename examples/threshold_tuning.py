@@ -7,26 +7,35 @@ compression ratio at the cost of interconnect traffic; the paper
 settles on 30 %. This example sweeps the threshold for one HPC and
 one DL workload and prints the trade-off, including the best
 achievable (unconstrained) compression for reference.
+
+The whole sweep profiles each benchmark once: selections for every
+threshold reduce over one columnar profile and are evaluated as a
+batch. It runs through the experiment engine (pass --workers /
+--cache-dir / --no-cache) and shares its result cache with
+``repro run`` / ``repro sweep``.
 """
 
 from repro.analysis.compression_study import (
     best_achievable_ratio,
     fig9_threshold_sweep,
 )
+from repro.engine import example_runner
 from repro.workloads.snapshots import SnapshotConfig
 
 THRESHOLDS = (0.05, 0.10, 0.20, 0.30, 0.40, 0.60)
 
 
 def main() -> None:
+    runner = example_runner(description=__doc__)
     config = SnapshotConfig(scale=1.0 / 65536)
     sweep = fig9_threshold_sweep(
         benchmarks=("FF_HPGMG", "AlexNet"),
         thresholds=THRESHOLDS,
         config=config,
+        runner=runner,
     )
     for name, runs in sweep.items():
-        best = best_achievable_ratio(name, config)
+        best = best_achievable_ratio(name, config, runner=runner)
         print(f"\n== {name} (best achievable {best:.2f}x) ==")
         print(f"{'threshold':>10s} {'ratio':>7s} {'buddy accesses':>15s}")
         for threshold in THRESHOLDS:

@@ -10,6 +10,7 @@ from repro.compression import BPCCompressor, free_sizes_for_sizes, sectors_for_s
 from repro.compression.zeroblock import zero_mask
 from repro.core.controller import BuddyCompressor, BuddyConfig, EvaluationResult
 from repro.core.targets import FINAL, NAIVE, PER_ALLOCATION, DesignPoint
+from repro.core.targets import threshold_sweep as targets_threshold_sweep
 from repro.units import ENTRIES_PER_PAGE, MEMORY_ENTRY_BYTES
 from repro.workloads.catalog import get_benchmark
 from repro.workloads.snapshots import SnapshotConfig, generate_run, generate_snapshot
@@ -17,9 +18,9 @@ from repro.workloads.snapshots import SnapshotConfig, generate_run, generate_sna
 
 def _default_runner():
     """Serial, cache-free engine runner (library-call default)."""
-    from repro.engine.runner import ExperimentRunner
+    from repro.engine.runner import default_runner
 
-    return ExperimentRunner()
+    return default_runner()
 
 
 # ---------------------------------------------------------------------------
@@ -121,16 +122,19 @@ def fig7_benchmark(
     config: SnapshotConfig | None = None,
     designs: tuple[DesignPoint, ...] = (NAIVE, PER_ALLOCATION, FINAL),
 ) -> dict[str, EvaluationResult]:
-    """One benchmark across the Fig. 7 designs (profile once, reuse)."""
+    """One benchmark across the Fig. 7 designs.
+
+    One profiling pass selects for every design; one reference pass
+    evaluates the whole batch (:meth:`BuddyCompressor.evaluate_many`).
+    """
     engine = BuddyCompressor(
         BuddyConfig(snapshot_config=config or SnapshotConfig())
     )
     profile = engine.profile(benchmark)
-    results: dict[str, EvaluationResult] = {}
-    for design in designs:
-        selection = engine.select(profile, design)
-        results[design.name] = engine.evaluate(benchmark, selection, design.name)
-    return results
+    selections = [engine.select(profile, design) for design in designs]
+    names = [design.name for design in designs]
+    results = engine.evaluate_many(benchmark, selections, names)
+    return dict(zip(names, results))
 
 
 def fig7_design_points(
@@ -179,22 +183,24 @@ def fig9_benchmark(
     thresholds=(0.10, 0.20, 0.30, 0.40),
     config: SnapshotConfig | None = None,
 ) -> dict[float, EvaluationResult]:
-    """One benchmark's Fig. 9 threshold sweep (profile once, reuse)."""
+    """One benchmark's Fig. 9 threshold sweep.
+
+    The whole sweep runs exactly one profiling pass and one reference
+    pass: selections for every threshold reduce over a single
+    worst-overflow matrix (:func:`repro.core.targets.threshold_sweep`)
+    and the batch is evaluated in one
+    :meth:`BuddyCompressor.evaluate_many` call.
+    """
+    thresholds = tuple(thresholds)
     engine = BuddyCompressor(
         BuddyConfig(snapshot_config=config or SnapshotConfig())
     )
     profile = engine.profile(benchmark)
-    sweep: dict[float, EvaluationResult] = {}
-    for threshold in thresholds:
-        design = DesignPoint(
-            f"threshold-{threshold:.2f}",
-            per_allocation=True,
-            zero_page=False,
-            threshold=threshold,
-        )
-        selection = engine.select(profile, design)
-        sweep[threshold] = engine.evaluate(benchmark, selection, design.name)
-    return sweep
+    by_threshold = targets_threshold_sweep(profile, thresholds)
+    selections = [by_threshold[threshold] for threshold in thresholds]
+    names = [f"threshold-{threshold:.2f}" for threshold in thresholds]
+    results = engine.evaluate_many(benchmark, selections, names)
+    return dict(zip(thresholds, results))
 
 
 def fig9_threshold_sweep(
@@ -216,8 +222,8 @@ def fig9_threshold_sweep(
 
 
 def best_achievable_ratio(
-    benchmark: str, config: SnapshotConfig | None = None
+    benchmark: str, config: SnapshotConfig | None = None, runner=None
 ) -> float:
     """Fig. 9's marker: unconstrained free-size compression ratio."""
-    row = fig3_compression_ratios([benchmark], config)[0]
+    row = fig3_compression_ratios([benchmark], config, runner=runner)[0]
     return row.mean_ratio

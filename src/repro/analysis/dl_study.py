@@ -47,9 +47,9 @@ def measured_compression_ratios(
     config: SnapshotConfig | None = None, runner=None
 ) -> dict[str, float]:
     """Per-network buddy ratios from the Fig. 7 pipeline."""
-    from repro.engine.runner import ExperimentRunner
+    from repro.engine.runner import default_runner
 
-    runner = runner or ExperimentRunner()
+    runner = runner or default_runner()
     return runner.run("dl.ratios", {"config": config})
 
 
@@ -61,9 +61,9 @@ def run_dl_study(
 ) -> DLStudyResult:
     """Produce all four Fig. 13 panels."""
     if compression_ratios is None:
-        from repro.engine.runner import ExperimentRunner
+        from repro.engine.runner import default_runner
 
-        runner = runner or ExperimentRunner()
+        runner = runner or default_runner()
         return runner.run(
             "dl.fig13", {"batches": tuple(batches), "epochs": epochs}
         )

@@ -72,9 +72,9 @@ def run_metadata_study(
     runner=None,
 ) -> list[MetadataStudyRow]:
     """Sweep metadata cache sizes per benchmark (Fig. 5b)."""
-    from repro.engine.runner import ExperimentRunner
+    from repro.engine.runner import default_runner
 
-    runner = runner or ExperimentRunner()
+    runner = runner or default_runner()
     return runner.run(
         "metadata.fig5b",
         {

@@ -140,9 +140,9 @@ def run_perf_study(
         runner: :class:`repro.engine.ExperimentRunner` controlling
             parallelism and caching (default: serial, uncached).
     """
-    from repro.engine.runner import ExperimentRunner
+    from repro.engine.runner import default_runner
 
-    runner = runner or ExperimentRunner()
+    runner = runner or default_runner()
     if trace_config is None and config is not None:
         # Preserve the historical coupling: an explicit machine implies
         # a trace shaped for that machine's SM/warp geometry.

@@ -31,9 +31,9 @@ def um_benchmark_curve(
 
 def fig12_curves(config: UMConfig | None = None, runner=None) -> list[UMResult]:
     """The Fig. 12 dataset (UM + pinned, per benchmark and level)."""
-    from repro.engine.runner import ExperimentRunner
+    from repro.engine.runner import default_runner
 
-    runner = runner or ExperimentRunner()
+    runner = runner or default_runner()
     return runner.run("um.fig12", {"config": config})
 
 

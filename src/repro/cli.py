@@ -6,6 +6,8 @@ Everything routes through the :mod:`repro.engine` subsystem::
     repro run perf.fig11 --workers 8
     repro sweep --workers 4        # the Fig. 7 design-point sweep
     repro report --from-cache      # render results without re-running
+    repro cache                    # cache entries/bytes/evictions
+    repro cache --clear            # drop every cached result
 
 ``run`` and ``sweep`` memoise every design point in the
 content-addressed cache (``.repro-cache/`` by default, overridable
@@ -28,9 +30,12 @@ from repro.engine import (
     CacheMiss,
     ExperimentRunner,
     ResultCache,
+    add_runner_options,
     experiment_names,
     get_experiment,
+    parse_size,
     result_digest,
+    runner_from_args,
 )
 from repro import rng as rng_lib
 
@@ -146,14 +151,8 @@ FORMATTERS = {
 # Parameter assembly.
 # ---------------------------------------------------------------------------
 def _build_runner(args, offline: bool = False) -> ExperimentRunner:
-    cache = None
-    if getattr(args, "cache", True):
-        cache = ResultCache(getattr(args, "cache_dir", None))
-    return ExperimentRunner(
-        workers=getattr(args, "workers", 1),
-        cache=cache,
-        seed=getattr(args, "seed", rng_lib.DEFAULT_SEED),
-        offline=offline,
+    return runner_from_args(
+        args, seed=getattr(args, "seed", None), offline=offline
     )
 
 
@@ -250,6 +249,31 @@ def _cmd_report(args) -> int:
     return status
 
 
+def _cmd_cache(args) -> int:
+    """Report (or clear / shrink) the result cache."""
+    cache = ResultCache(args.cache_dir)
+    if args.clear is not _KEEP:
+        removed = cache.clear(args.clear)
+        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    if args.evict_to is not None:
+        evicted = cache.evict(args.evict_to)
+        print(f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}")
+    usage = cache.usage()
+    print(f"cache root: {cache.root}")
+    for name, (entries, size) in usage.per_experiment.items():
+        print(f"  {name:20s} {entries:6d} entr{'y' if entries == 1 else 'ies'} {size:12,d} bytes")
+    print(
+        f"total: {usage.entries} entr{'y' if usage.entries == 1 else 'ies'}, "
+        f"{usage.bytes:,d} bytes, {usage.evictions} lifetime eviction(s)"
+    )
+    return 0
+
+
+#: Sentinel distinguishing "--clear" (clear all) from "--clear EXP".
+_KEEP = object()
+
+
 def _cmd_figure(args) -> int:
     """Legacy figure alias: serial, cache-untouched, paper-style output."""
     if args.figure == "fig6":
@@ -264,23 +288,7 @@ def _cmd_figure(args) -> int:
 
 # ---------------------------------------------------------------------------
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes for design points (default: serial)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        dest="cache",
-        action="store_false",
-        help="do not read or write the result cache",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache/)",
-    )
+    add_runner_options(parser)  # --workers / --no-cache / --cache-*
     parser.add_argument(
         "--seed",
         type=int,
@@ -342,6 +350,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(report)
     report.set_defaults(func=_cmd_report)
+
+    cache = commands.add_parser(
+        "cache", help="report entries/bytes/evictions of the result cache"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache/)",
+    )
+    cache.add_argument(
+        "--clear",
+        nargs="?",
+        const=None,
+        default=_KEEP,
+        metavar="EXPERIMENT",
+        help="delete cached entries (optionally one experiment's only)",
+    )
+    cache.add_argument(
+        "--evict-to",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="LRU-evict entries until the cache fits SIZE (e.g. 256M)",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     for alias in sorted(FIGURE_ALIASES) + ["fig6"]:
         figure = commands.add_parser(alias, help=f"paper {alias} (serial alias)")

@@ -4,8 +4,9 @@ The engine follows the paper's flow end to end:
 
 1. :mod:`repro.core.profiler` runs the profiling pass over a smaller
    dataset (the paper: SpecAccel ``train``, DL small batch) and builds
+   the columnar :class:`~repro.core.profile_tensor.ProfileTensor` of
    per-allocation compressed-size histograms.
-2. :mod:`repro.core.targets` turns histograms into per-allocation
+2. :mod:`repro.core.targets` turns the tensor into per-allocation
    target compression ratios under a Buddy Threshold, including the
    naive whole-program baseline and the 16x zero-page promotion.
 3. :mod:`repro.core.allocator` and :mod:`repro.core.translation` model
@@ -20,13 +21,20 @@ The engine follows the paper's flow end to end:
 
 from repro.core.entry import TargetRatio, ALLOWED_TARGETS
 from repro.core.histogram import SectorHistogram
-from repro.core.profiler import AllocationProfile, BenchmarkProfile, profile_benchmark
+from repro.core.profile_tensor import ProfileTensor
+from repro.core.profiler import (
+    AllocationProfile,
+    BenchmarkProfile,
+    profile_benchmark,
+    profile_tensor,
+)
 from repro.core.targets import (
     DesignPoint,
     select_naive,
     select_per_allocation,
     apply_zero_page,
     selection_ratio,
+    threshold_sweep,
 )
 from repro.core.controller import BuddyCompressor, BuddyConfig, EvaluationResult
 
@@ -34,14 +42,17 @@ __all__ = [
     "TargetRatio",
     "ALLOWED_TARGETS",
     "SectorHistogram",
+    "ProfileTensor",
     "AllocationProfile",
     "BenchmarkProfile",
     "profile_benchmark",
+    "profile_tensor",
     "DesignPoint",
     "select_naive",
     "select_per_allocation",
     "apply_zero_page",
     "selection_ratio",
+    "threshold_sweep",
     "BuddyCompressor",
     "BuddyConfig",
     "EvaluationResult",

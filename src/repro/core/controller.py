@@ -6,11 +6,19 @@ ratios for a design point, then evaluate the annotated program on the
 reference dataset — compression ratio achieved, and the fraction of
 memory-entries (and sectors) that must be sourced from buddy-memory
 at every snapshot (Figs. 7, 8, 9).
+
+Both the profile and the reference run are reduced to columnar
+:class:`~repro.core.profile_tensor.ProfileTensor` form exactly once
+per process (see :func:`repro.core.profiler.profile_tensor`), and
+:meth:`BuddyCompressor.evaluate_many` evaluates a whole batch of
+selections — a threshold or design-point sweep — as array reductions
+over that single reference tensor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -19,7 +27,8 @@ from repro.compression.bpc import BPCCompressor
 from repro.core import targets as targets_mod
 from repro.core.allocator import BuddyAllocator
 from repro.core.entry import TargetRatio
-from repro.core.profiler import BenchmarkProfile, profile_benchmark, profile_snapshots
+from repro.core.profile_tensor import ProfileTensor
+from repro.core.profiler import BenchmarkProfile, profile_tensor
 from repro.core.targets import DesignPoint
 from repro.units import GIB, MEMORY_ENTRY_BYTES
 from repro.workloads.snapshots import SnapshotConfig, generate_run
@@ -84,7 +93,17 @@ class BuddyCompressor:
     # ------------------------------------------------------------------
     def profile(self, benchmark: str) -> BenchmarkProfile:
         """Run the profiling pass (profile-role snapshots)."""
-        return profile_benchmark(
+        return BenchmarkProfile(
+            profile_tensor(
+                benchmark,
+                self.config.snapshot_config.as_profile(),
+                self.algorithm,
+            )
+        )
+
+    def reference_tensor(self, benchmark: str) -> ProfileTensor:
+        """The reference run's columnar profile (memoised per process)."""
+        return profile_tensor(
             benchmark, self.config.snapshot_config, self.algorithm
         )
 
@@ -92,22 +111,23 @@ class BuddyCompressor:
         self, profile: BenchmarkProfile, design: DesignPoint
     ) -> dict[str, TargetRatio]:
         """Choose target ratios for a design point."""
+        tensor = targets_mod.as_tensor(profile)
         if design.per_allocation:
-            selection = targets_mod.select_per_allocation(
-                profile, design.threshold
-            )
+            indices = targets_mod.select_per_allocation_indices(
+                tensor, (design.threshold,)
+            )[0]
         else:
-            selection = targets_mod.select_naive(
-                profile, self.config.naive_overflow_cap
+            indices = targets_mod.select_naive_indices(
+                tensor, self.config.naive_overflow_cap
             )
         if design.zero_page:
-            selection = targets_mod.apply_zero_page(
-                selection,
-                profile,
+            indices = targets_mod.apply_zero_page_indices(
+                indices,
+                tensor,
                 self.config.zero_tolerance,
                 self.config.max_overall_ratio,
             )
-        return selection
+        return tensor.selection_from_indices(indices)
 
     def evaluate(
         self,
@@ -116,38 +136,49 @@ class BuddyCompressor:
         design_name: str = "custom",
     ) -> EvaluationResult:
         """Measure a selection against the reference run."""
-        reference = profile_snapshots(
-            benchmark,
-            generate_run(benchmark, self.config.snapshot_config),
-            self.algorithm,
-        )
-        ratio = targets_mod.selection_ratio(selection, reference)
-        snapshots = len(next(iter(reference.allocations)).per_snapshot)
-        per_snapshot = []
-        for index in range(snapshots):
-            entries = 0
-            overflowing = 0.0
-            sectors = 0.0
-            for alloc in reference.allocations:
-                histogram = alloc.per_snapshot[index]
-                target = selection[alloc.name]
-                entries += histogram.total
-                overflowing += histogram.overflow_fraction(target) * histogram.total
-                sectors += histogram.buddy_sector_fraction(target) * histogram.total
-            per_snapshot.append(
-                SnapshotTraffic(
-                    index,
-                    overflowing / max(entries, 1),
-                    sectors / max(entries, 1),
+        return self.evaluate_many(benchmark, [selection], [design_name])[0]
+
+    def evaluate_many(
+        self,
+        benchmark: str,
+        selections: Sequence[dict[str, TargetRatio]],
+        design_names: Sequence[str] | None = None,
+    ) -> list[EvaluationResult]:
+        """Measure many selections against one reference profiling pass.
+
+        The reference run is reduced to its profile tensor once; every
+        selection is then a pair of array reductions (capacity ratio
+        and per-snapshot traffic), so a sweep's cost is one profiling
+        pass plus O(selections) arithmetic on compact arrays.
+        """
+        if design_names is None:
+            design_names = ["custom"] * len(selections)
+        if len(design_names) != len(selections):
+            raise ValueError(
+                f"{len(design_names)} design names for "
+                f"{len(selections)} selections"
+            )
+        reference = self.reference_tensor(benchmark)
+        results = []
+        for selection, design_name in zip(selections, design_names):
+            indices = reference.selection_indices(selection)
+            entry_fractions, sector_fractions = reference.traffic(indices)
+            per_snapshot = [
+                SnapshotTraffic(index, float(entry), float(sectors))
+                for index, (entry, sectors) in enumerate(
+                    zip(entry_fractions, sector_fractions)
+                )
+            ]
+            results.append(
+                EvaluationResult(
+                    benchmark=benchmark,
+                    design=design_name,
+                    selection=selection,
+                    compression_ratio=reference.selection_ratio(indices),
+                    per_snapshot=per_snapshot,
                 )
             )
-        return EvaluationResult(
-            benchmark=benchmark,
-            design=design_name,
-            selection=selection,
-            compression_ratio=ratio,
-            per_snapshot=per_snapshot,
-        )
+        return results
 
     def run(
         self, benchmark: str, design: DesignPoint = targets_mod.FINAL

@@ -1,0 +1,262 @@
+"""Columnar profiling data: the pipeline's canonical representation.
+
+The paper's profiler "periodically calculates a histogram of
+compressed memory-entries per allocation", and every design-point
+decision (Figs. 7-9) is a reduction over those histograms.  Rather
+than materialising one Python histogram object per allocation per
+snapshot, :class:`ProfileTensor` keeps the whole profile of a
+benchmark run as dense arrays::
+
+    counts    (allocations, snapshots, sector-buckets)  int64
+    zero_fit  (allocations, snapshots)                  int64
+    fractions (allocations,)                            float64
+
+Selection policies (:mod:`repro.core.targets`) and design-point
+evaluation (:mod:`repro.core.controller`) are vectorised reductions
+over this tensor, so a threshold or design-point sweep profiles the
+reference run once and evaluates every point as array ops.
+
+Bit-compatibility contract: every reduction here reproduces the exact
+IEEE-754 operation sequence of the historical per-object
+:class:`~repro.core.histogram.SectorHistogram` path (same integer
+divisions, same accumulation order over allocations), so results are
+bit-identical to the legacy pipeline and cached digests stay valid.
+:class:`~repro.core.histogram.SectorHistogram` survives as a thin view
+over tensor rows for existing callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.entry import TargetRatio
+from repro.core.histogram import SectorHistogram
+from repro.units import MEMORY_ENTRY_BYTES, SECTORS_PER_ENTRY
+
+#: Canonical target order for the tensor's target axis.
+TARGET_ORDER: tuple[TargetRatio, ...] = tuple(TargetRatio)
+
+#: Index of each target on the target axis.
+TARGET_INDEX: dict[TargetRatio, int] = {
+    target: index for index, target in enumerate(TARGET_ORDER)
+}
+
+#: Sector cost of each bucket (bucket b holds entries of b+1 sectors).
+_SECTOR_WEIGHTS = np.arange(1, SECTORS_PER_ENTRY + 1, dtype=np.int64)
+
+
+@dataclass(eq=False)
+class ProfileTensor:
+    """One benchmark run's complete profile in columnar form.
+
+    Attributes:
+        benchmark: Benchmark name.
+        names: Allocation names, in first-appearance (spec) order —
+            the order every legacy accumulation followed.
+        fractions: ``(A,)`` footprint fraction per allocation.
+        counts: ``(A, S, 4)`` entries per sector bucket, per
+            allocation and snapshot.
+        zero_fit: ``(A, S)`` entries fitting the 8 B zero-page slot
+            (these also appear in bucket 0 of ``counts``).
+    """
+
+    benchmark: str
+    names: tuple[str, ...]
+    fractions: np.ndarray
+    counts: np.ndarray
+    zero_fit: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.fractions = np.asarray(self.fractions, dtype=np.float64)
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        self.zero_fit = np.asarray(self.zero_fit, dtype=np.int64)
+        if self.counts.ndim != 3 or self.counts.shape[2] != SECTORS_PER_ENTRY:
+            raise ValueError(
+                f"counts must be (A, S, {SECTORS_PER_ENTRY}); "
+                f"got {self.counts.shape}"
+            )
+        if self.zero_fit.shape != self.counts.shape[:2]:
+            raise ValueError(
+                f"zero_fit shape {self.zero_fit.shape} does not match "
+                f"counts {self.counts.shape[:2]}"
+            )
+        if len(self.names) != self.counts.shape[0]:
+            raise ValueError("names must match the allocation axis")
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def allocation_count(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def snapshot_count(self) -> int:
+        return self.counts.shape[1]
+
+    def index(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no allocation {name!r} in profile of {self.benchmark}"
+            ) from None
+
+    # -- basic reductions ------------------------------------------------
+    @cached_property
+    def totals(self) -> np.ndarray:
+        """``(A, S)`` total entries per allocation and snapshot."""
+        return self.counts.sum(axis=2)
+
+    @cached_property
+    def merged_counts(self) -> np.ndarray:
+        """``(A, 4)`` run-merged sector counts per allocation."""
+        return self.counts.sum(axis=1)
+
+    @cached_property
+    def merged_zero_fit(self) -> np.ndarray:
+        """``(A,)`` run-merged zero-fit counts per allocation."""
+        return self.zero_fit.sum(axis=1)
+
+    @cached_property
+    def program_counts(self) -> np.ndarray:
+        """``(4,)`` whole-program sector counts (naive design's view)."""
+        return self.counts.sum(axis=(0, 1))
+
+    # -- per-target reductions -------------------------------------------
+    @cached_property
+    def overflow_fractions(self) -> np.ndarray:
+        """``(T, A, S)`` fraction of entries overflowing each target.
+
+        Replicates :meth:`SectorHistogram.overflow_fraction` exactly:
+        integer overflow count divided by the integer total, and the
+        16x class computed as ``1.0 - zero_fit / total``.
+        """
+        totals = self.totals
+        safe = np.maximum(totals, 1)
+        rows = []
+        for target in TARGET_ORDER:
+            if target is TargetRatio.X16:
+                row = 1.0 - self.zero_fit / safe
+            else:
+                overflowing = self.counts[:, :, target.device_sectors :].sum(
+                    axis=2
+                )
+                row = overflowing / safe
+            rows.append(np.where(totals > 0, row, 0.0))
+        return np.stack(rows)
+
+    @cached_property
+    def sector_fractions(self) -> np.ndarray:
+        """``(T, A, S)`` overflow sectors per entry for each target.
+
+        Replicates :meth:`SectorHistogram.buddy_sector_fraction`: the
+        integer overflow-sector dot product divided by the total.
+        """
+        totals = self.totals
+        safe = np.maximum(totals, 1)
+        rows = []
+        for target in TARGET_ORDER:
+            if target is TargetRatio.X16:
+                remote = self.counts @ _SECTOR_WEIGHTS - self.zero_fit
+            else:
+                weights = np.maximum(
+                    0, _SECTOR_WEIGHTS - target.device_sectors
+                )
+                remote = self.counts @ weights
+            rows.append(np.where(totals > 0, remote / safe, 0.0))
+        return np.stack(rows)
+
+    @cached_property
+    def worst_overflow(self) -> np.ndarray:
+        """``(T, A)`` max-over-snapshots overflow fraction per target.
+
+        The profiler's conservative view (355.seismic's drift); empty
+        runs report 1.0, matching the legacy ``max(..., default=1.0)``.
+        """
+        if self.snapshot_count == 0:
+            return np.ones((len(TARGET_ORDER), self.allocation_count))
+        return self.overflow_fractions.max(axis=2)
+
+    # -- selection helpers -----------------------------------------------
+    def selection_indices(
+        self, selection: Mapping[str, TargetRatio]
+    ) -> np.ndarray:
+        """``(A,)`` target-axis indices for a name -> ratio selection."""
+        return np.array(
+            [TARGET_INDEX[selection[name]] for name in self.names],
+            dtype=np.intp,
+        )
+
+    def selection_from_indices(
+        self, indices: Iterable[int]
+    ) -> dict[str, TargetRatio]:
+        """Name -> ratio dictionary from target-axis indices."""
+        return {
+            name: TARGET_ORDER[int(index)]
+            for name, index in zip(self.names, indices)
+        }
+
+    def selection_ratio(self, indices: np.ndarray) -> float:
+        """Overall compression ratio of a selection (capacity metric).
+
+        Accumulates in allocation order with scalar float arithmetic —
+        the exact legacy :func:`repro.core.targets.selection_ratio`
+        operation sequence.
+        """
+        footprint = 0.0
+        device = 0.0
+        for position in range(self.allocation_count):
+            fraction = float(self.fractions[position])
+            footprint += fraction * MEMORY_ENTRY_BYTES
+            device += fraction * TARGET_ORDER[int(indices[position])].device_bytes
+        if device == 0:
+            return 1.0
+        return footprint / device
+
+    def traffic(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-snapshot buddy traffic of a selection.
+
+        Returns ``(entry_fractions, sector_fractions)`` — each ``(S,)``
+        — reproducing the legacy evaluation loop bit for bit: per
+        allocation the integer-count fraction is scaled back by its
+        total, accumulated over allocations in order, then normalised
+        by the snapshot's entry count.
+        """
+        arange = np.arange(self.allocation_count)
+        totals = self.totals
+        weighted_entries = self.overflow_fractions[indices, arange, :] * totals
+        weighted_sectors = self.sector_fractions[indices, arange, :] * totals
+        overflowing = np.zeros(self.snapshot_count)
+        sectors = np.zeros(self.snapshot_count)
+        # Sequential accumulation over the allocation axis: float
+        # addition is not associative and digests are pinned to the
+        # legacy left-to-right order.
+        for position in range(self.allocation_count):
+            overflowing = overflowing + weighted_entries[position]
+            sectors = sectors + weighted_sectors[position]
+        entries = np.maximum(totals.sum(axis=0), 1)
+        return overflowing / entries, sectors / entries
+
+    # -- histogram views --------------------------------------------------
+    def histogram(self, position: int, snapshot: int) -> SectorHistogram:
+        """One (allocation, snapshot) cell as a legacy histogram."""
+        return SectorHistogram(
+            self.counts[position, snapshot].copy(),
+            int(self.zero_fit[position, snapshot]),
+        )
+
+    def merged_histogram(self, position: int) -> SectorHistogram:
+        """One allocation's run-merged histogram view."""
+        return SectorHistogram(
+            self.merged_counts[position].copy(),
+            int(self.merged_zero_fit[position]),
+        )
+
+    def program_histogram(self) -> SectorHistogram:
+        """Whole-program histogram (what the naive design sees)."""
+        return SectorHistogram(
+            self.program_counts.copy(), int(self.zero_fit.sum())
+        )

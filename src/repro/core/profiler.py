@@ -5,16 +5,29 @@ smaller dataset (SpecAccel's ``train`` set; a smaller mini-batch for
 DL) while a tool snapshots memory and accumulates per-allocation
 histograms of compressed memory-entry sizes.  The output feeds target
 selection in :mod:`repro.core.targets`.
+
+The canonical profile representation is the columnar
+:class:`~repro.core.profile_tensor.ProfileTensor`; the
+:class:`BenchmarkProfile` / :class:`AllocationProfile` classes kept
+here are thin views over it for existing callers.  Tensors are
+memoised per process and — when the experiment engine installs its
+result cache via :func:`set_tensor_cache` — persisted on disk, so a
+sweep profiles each (benchmark, config, algorithm) combination exactly
+once no matter how many design points it evaluates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
 
 from repro.compression.base import CompressionAlgorithm
 from repro.compression.bpc import BPCCompressor
+from repro.core.entry import TargetRatio
 from repro.core.histogram import SectorHistogram
+from repro.core.profile_tensor import TARGET_INDEX, ProfileTensor
+from repro.units import SECTORS_PER_ENTRY
 from repro.workloads.snapshots import (
     SnapshotConfig,
     generate_run,
@@ -23,23 +36,39 @@ from repro.workloads.snapshots import (
 
 @dataclass
 class AllocationProfile:
-    """Aggregated profiling data for one allocation.
+    """View of one allocation's row of a :class:`ProfileTensor`.
 
     Attributes:
-        name: Allocation label.
-        fraction: Fraction of the benchmark footprint.
-        merged: Histogram over all profiling snapshots.
-        per_snapshot: One histogram per snapshot (stability checks —
-            the zero-page class requires allocations that stay
-            mostly-zero for the whole run).
+        tensor: The owning profile tensor.
+        position: Row on the tensor's allocation axis.
     """
 
-    name: str
-    fraction: float
-    merged: SectorHistogram
-    per_snapshot: list[SectorHistogram]
+    tensor: ProfileTensor
+    position: int
 
-    def worst_overflow(self, target) -> float:
+    @property
+    def name(self) -> str:
+        return self.tensor.names[self.position]
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of the benchmark footprint."""
+        return float(self.tensor.fractions[self.position])
+
+    @property
+    def merged(self) -> SectorHistogram:
+        """Histogram over all profiling snapshots."""
+        return self.tensor.merged_histogram(self.position)
+
+    @property
+    def per_snapshot(self) -> list[SectorHistogram]:
+        """One histogram view per snapshot (stability checks)."""
+        return [
+            self.tensor.histogram(self.position, snapshot)
+            for snapshot in range(self.tensor.snapshot_count)
+        ]
+
+    def worst_overflow(self, target: TargetRatio) -> float:
         """Max over snapshots of the overflow fraction at ``target``.
 
         This is the "conservative" view the paper's profiler takes:
@@ -47,64 +76,212 @@ class AllocationProfile:
         target chosen from the run average would overflow massively
         late in execution.
         """
-        return max(
-            (h.overflow_fraction(target) for h in self.per_snapshot),
-            default=1.0,
+        return float(
+            self.tensor.worst_overflow[TARGET_INDEX[target], self.position]
         )
 
     @property
     def worst_zero_overflow(self) -> float:
         """Max over snapshots of the 16x-class overflow fraction."""
-        from repro.core.entry import TargetRatio
-
         return self.worst_overflow(TargetRatio.X16)
 
 
 @dataclass
 class BenchmarkProfile:
-    """Profiling output for one benchmark run."""
+    """Profiling output for one benchmark run (a tensor view)."""
 
-    benchmark: str
-    allocations: list[AllocationProfile]
+    tensor: ProfileTensor
+
+    @property
+    def benchmark(self) -> str:
+        return self.tensor.benchmark
+
+    @property
+    def allocations(self) -> list[AllocationProfile]:
+        return [
+            AllocationProfile(self.tensor, position)
+            for position in range(self.tensor.allocation_count)
+        ]
 
     def allocation(self, name: str) -> AllocationProfile:
-        for alloc in self.allocations:
-            if alloc.name == name:
-                return alloc
-        raise KeyError(f"no allocation {name!r} in profile of {self.benchmark}")
+        return AllocationProfile(self.tensor, self.tensor.index(name))
 
     def program_histogram(self) -> SectorHistogram:
         """Whole-program histogram (what the naive design sees)."""
-        merged = SectorHistogram()
-        for alloc in self.allocations:
-            merged = merged.merge(alloc.merged)
-        return merged
+        return self.tensor.program_histogram()
 
 
+# ---------------------------------------------------------------------------
+# Tensor construction.
+# ---------------------------------------------------------------------------
+def tensor_from_snapshots(
+    benchmark: str,
+    snapshots,
+    algorithm: CompressionAlgorithm | None = None,
+) -> ProfileTensor:
+    """Build the columnar profile of an explicit snapshot sequence."""
+    algorithm = algorithm or BPCCompressor()
+    order: dict[str, int] = {}
+    fractions: dict[str, float] = {}
+    columns: list[list[tuple[np.ndarray, int]]] = []
+    snapshot_count = 0
+    for snapshot in snapshots:
+        for alloc in snapshot.allocations:
+            position = order.setdefault(alloc.name, len(order))
+            if position == len(columns):
+                columns.append([])
+            # One SectorHistogram.from_sizes call per cell keeps the
+            # sector-bucket / zero-class rule defined in exactly one
+            # place; the tensor stores its integer columns.
+            histogram = SectorHistogram.from_sizes(
+                algorithm.compressed_sizes(alloc.data)
+            )
+            columns[position].append(
+                (histogram.sector_counts, histogram.zero_fit)
+            )
+            fractions[alloc.name] = alloc.spec.fraction
+        snapshot_count += 1
+    names = tuple(order)
+    for name, column in zip(names, columns):
+        if len(column) != snapshot_count:
+            raise ValueError(
+                f"allocation {name!r} present in {len(column)} of "
+                f"{snapshot_count} snapshots; profiles must be rectangular"
+            )
+    counts = np.zeros((len(names), snapshot_count, SECTORS_PER_ENTRY), np.int64)
+    zero_fit = np.zeros((len(names), snapshot_count), np.int64)
+    for position, column in enumerate(columns):
+        for snapshot, (cell, zero) in enumerate(column):
+            counts[position, snapshot] = cell
+            zero_fit[position, snapshot] = zero
+    return ProfileTensor(
+        benchmark=benchmark,
+        names=names,
+        fractions=np.array([fractions[name] for name in names]),
+        counts=counts,
+        zero_fit=zero_fit,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memoised / cached tensor access.
+# ---------------------------------------------------------------------------
+#: Per-process tensor memo: (benchmark, config, algorithm key) -> tensor.
+_TENSOR_MEMO: dict[tuple, ProfileTensor] = {}
+
+#: Engine result cache for tensors (installed by the experiment runner).
+_TENSOR_CACHE = None
+
+#: Modules whose source forms the on-disk tensor cache's code salt.
+#: The compression algorithm's own defining module is appended per
+#: call (see :func:`profile_tensor`), so editing any compressor
+#: invalidates exactly the tensors built with it.
+_TENSOR_SALT_MODULES = (
+    "repro.compression.base",
+    "repro.compression.sectors",
+    "repro.core.histogram",
+    "repro.core.profile_tensor",
+    "repro.core.profiler",
+    "repro.rng",
+    "repro.workloads.calibration",
+    "repro.workloads.catalog",
+    "repro.workloads.snapshots",
+    "repro.workloads.valuemodels",
+)
+
+#: Tensor builds actually executed (memo and disk hits excluded).
+_PROFILE_PASSES = 0
+
+
+def profile_pass_count() -> int:
+    """Profiling passes (tensor builds) executed by this process."""
+    return _PROFILE_PASSES
+
+
+def set_tensor_cache(cache):
+    """Install a :class:`repro.engine.cache.ResultCache` for tensors.
+
+    Returns the previously installed cache (or ``None``) so callers
+    can restore it; pass ``None`` to uninstall.
+    """
+    global _TENSOR_CACHE
+    previous = _TENSOR_CACHE
+    _TENSOR_CACHE = cache
+    return previous
+
+
+def clear_profile_cache() -> None:
+    """Drop the per-process tensor memo (tests, memory pressure)."""
+    _TENSOR_MEMO.clear()
+
+
+def _algorithm_key(algorithm: CompressionAlgorithm) -> str:
+    return f"{type(algorithm).__module__}.{type(algorithm).__qualname__}"
+
+
+def profile_tensor(
+    benchmark: str,
+    config: SnapshotConfig | None = None,
+    algorithm: CompressionAlgorithm | None = None,
+) -> ProfileTensor:
+    """The columnar profile of a benchmark run under ``config``.
+
+    Memoised per process and, when the engine has installed its result
+    cache, content-addressed on disk under the ``profile.tensor``
+    namespace — the compact tensor (a few KB) is what persists, not the
+    regenerated snapshots.
+    """
+    global _PROFILE_PASSES
+    from repro.workloads.catalog import get_benchmark
+
+    config = config or SnapshotConfig()
+    algorithm = algorithm or BPCCompressor()
+    name = get_benchmark(benchmark).name
+    memo_key = (name, config, _algorithm_key(algorithm))
+    tensor = _TENSOR_MEMO.get(memo_key)
+    if tensor is not None:
+        return tensor
+
+    cache_key = None
+    if _TENSOR_CACHE is not None:
+        from repro.engine.cache import CacheKey, CacheMiss, code_salt, param_digest
+
+        digest = param_digest(
+            "profile.tensor",
+            {"benchmark": name, "config": config, "algorithm": memo_key[2]},
+            code_salt(
+                _TENSOR_SALT_MODULES + (type(algorithm).__module__,)
+            ),
+        )
+        cache_key = CacheKey("profile.tensor", digest)
+        try:
+            tensor = _TENSOR_CACHE.get(cache_key)
+        except CacheMiss:
+            tensor = None
+        if tensor is not None:
+            _TENSOR_MEMO[memo_key] = tensor
+            return tensor
+
+    tensor = tensor_from_snapshots(name, generate_run(name, config), algorithm)
+    _PROFILE_PASSES += 1
+    _TENSOR_MEMO[memo_key] = tensor
+    if cache_key is not None:
+        _TENSOR_CACHE.put(cache_key, tensor)
+    return tensor
+
+
+# ---------------------------------------------------------------------------
+# Legacy-shaped entry points.
+# ---------------------------------------------------------------------------
 def profile_snapshots(
     benchmark: str,
     snapshots,
     algorithm: CompressionAlgorithm | None = None,
 ) -> BenchmarkProfile:
     """Profile an explicit sequence of memory snapshots."""
-    algorithm = algorithm or BPCCompressor()
-    per_alloc: dict[str, list[SectorHistogram]] = {}
-    fractions: dict[str, float] = {}
-    for snapshot in snapshots:
-        for alloc in snapshot.allocations:
-            sizes = algorithm.compressed_sizes(alloc.data)
-            histogram = SectorHistogram.from_sizes(sizes)
-            per_alloc.setdefault(alloc.name, []).append(histogram)
-            fractions[alloc.name] = alloc.spec.fraction
-    profiles = []
-    for name, histograms in per_alloc.items():
-        merged = SectorHistogram()
-        for histogram in histograms:
-            merged = merged.merge(histogram)
-        profiles.append(
-            AllocationProfile(name, fractions[name], merged, histograms)
-        )
-    return BenchmarkProfile(benchmark, profiles)
+    return BenchmarkProfile(
+        tensor_from_snapshots(benchmark, snapshots, algorithm)
+    )
 
 
 def profile_benchmark(
@@ -114,6 +291,4 @@ def profile_benchmark(
 ) -> BenchmarkProfile:
     """Run the profiling pass on the benchmark's *profile* dataset."""
     config = (config or SnapshotConfig()).as_profile()
-    return profile_snapshots(
-        benchmark, generate_run(benchmark, config), algorithm
-    )
+    return BenchmarkProfile(profile_tensor(benchmark, config, algorithm))

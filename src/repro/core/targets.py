@@ -10,15 +10,23 @@ Three design points from the paper's Fig. 7, in increasing refinement:
    allocations that are mostly-zero across the entire profiled run to
    the 16x class, subject to the 4x overall cap imposed by the
    buddy-memory carve-out size.
+
+All policies are vectorised reductions over the columnar
+:class:`~repro.core.profile_tensor.ProfileTensor`; the ``*_batch``
+variants select for many thresholds from one profile at once (the
+Fig. 9 sweep's hot path).  Every function accepts either a tensor or
+a :class:`~repro.core.profiler.BenchmarkProfile` view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.core.entry import ALLOWED_TARGETS, TargetRatio
-from repro.core.profiler import BenchmarkProfile
-from repro.units import MEMORY_ENTRY_BYTES
+from repro.core.profile_tensor import TARGET_INDEX, ProfileTensor
 
 #: The paper's default Buddy Threshold.
 DEFAULT_THRESHOLD = 0.30
@@ -37,6 +45,14 @@ ZERO_PAGE_TOLERANCE = 0.03
 #: overall target compression ratio at 4x.
 MAX_OVERALL_RATIO = 4.0
 
+#: Target-axis indices of the sector-aligned targets, best-first.
+_ALLOWED_INDICES = np.array(
+    [TARGET_INDEX[target] for target in ALLOWED_TARGETS], dtype=np.intp
+)
+
+_X1_INDEX = TARGET_INDEX[TargetRatio.X1]
+_X16_INDEX = TARGET_INDEX[TargetRatio.X16]
+
 
 @dataclass(frozen=True)
 class DesignPoint:
@@ -54,8 +70,93 @@ PER_ALLOCATION = DesignPoint("per-allocation", per_allocation=True, zero_page=Fa
 FINAL = DesignPoint("final", per_allocation=True, zero_page=True)
 
 
+def as_tensor(profile) -> ProfileTensor:
+    """The columnar tensor behind a profile (or the tensor itself)."""
+    if isinstance(profile, ProfileTensor):
+        return profile
+    return profile.tensor
+
+
+# ---------------------------------------------------------------------------
+# Index-space policies (the vectorised core).
+# ---------------------------------------------------------------------------
+def select_per_allocation_indices(
+    tensor: ProfileTensor, thresholds: Sequence[float]
+) -> np.ndarray:
+    """``(len(thresholds), A)`` target indices for a threshold batch.
+
+    For each threshold, each allocation gets the largest (best-first)
+    sector-aligned target whose *worst-snapshot* overflow stays within
+    it — the whole sweep reduced over one worst-overflow matrix.
+    """
+    worst = tensor.worst_overflow[_ALLOWED_INDICES, :]  # (4, A) best-first
+    thresholds_arr = np.asarray(thresholds, dtype=np.float64)
+    ok = worst[None, :, :] <= thresholds_arr[:, None, None]  # (T, 4, A)
+    first = np.argmax(ok, axis=1)  # first best-first target that fits
+    chosen = _ALLOWED_INDICES[first]
+    return np.where(ok.any(axis=1), chosen, _X1_INDEX)
+
+
+def select_naive_indices(
+    tensor: ProfileTensor, overflow_cap: float = NAIVE_OVERFLOW_CAP
+) -> np.ndarray:
+    """``(A,)`` indices of one conservative whole-program target."""
+    program = tensor.program_histogram()
+    mean_sectors = program.mean_sectors()
+    chosen = TargetRatio.X1
+    for target in ALLOWED_TARGETS:  # best-first: 4x, 2x, 1.33x, 1x
+        if target.device_sectors < mean_sectors:
+            continue  # more aggressive than the program average
+        if program.overflow_fraction(target) <= overflow_cap:
+            chosen = target
+            break
+    return np.full(tensor.allocation_count, TARGET_INDEX[chosen], dtype=np.intp)
+
+
+def apply_zero_page_indices(
+    indices: np.ndarray,
+    tensor: ProfileTensor,
+    tolerance: float = ZERO_PAGE_TOLERANCE,
+    max_overall_ratio: float = MAX_OVERALL_RATIO,
+) -> np.ndarray:
+    """Promote stably mostly-zero allocations to the 16x class.
+
+    Promotion is greedy, largest allocation first, and stops when the
+    overall target ratio would exceed the carve-out limit.
+    """
+    promoted = np.array(indices, dtype=np.intp)
+    candidates = np.flatnonzero(
+        tensor.worst_overflow[_X16_INDEX, :] <= tolerance
+    )
+    # Stable sort by descending fraction: ties keep allocation order,
+    # exactly as the legacy ``sorted(..., key=lambda a: -a.fraction)``.
+    order = candidates[
+        np.argsort(-tensor.fractions[candidates], kind="stable")
+    ]
+    for position in order:
+        trial = promoted.copy()
+        trial[position] = _X16_INDEX
+        if tensor.selection_ratio(trial) <= max_overall_ratio:
+            promoted = trial
+    return promoted
+
+
+def select_indices(tensor: ProfileTensor, design: DesignPoint) -> np.ndarray:
+    """Run a full design point's selection policy in index space."""
+    if design.per_allocation:
+        indices = select_per_allocation_indices(tensor, (design.threshold,))[0]
+    else:
+        indices = select_naive_indices(tensor)
+    if design.zero_page:
+        indices = apply_zero_page_indices(indices, tensor)
+    return indices
+
+
+# ---------------------------------------------------------------------------
+# Dictionary-facing API (legacy shape).
+# ---------------------------------------------------------------------------
 def select_per_allocation(
-    profile: BenchmarkProfile, threshold: float = DEFAULT_THRESHOLD
+    profile, threshold: float = DEFAULT_THRESHOLD
 ) -> dict[str, TargetRatio]:
     """Largest target per allocation with overflow <= ``threshold``.
 
@@ -64,19 +165,13 @@ def select_per_allocation(
     (355.seismic) and the paper avoids that hazard by choosing
     conservative targets.
     """
-    selection = {}
-    for alloc in profile.allocations:
-        chosen = TargetRatio.X1
-        for target in ALLOWED_TARGETS:  # best-first
-            if alloc.worst_overflow(target) <= threshold:
-                chosen = target
-                break
-        selection[alloc.name] = chosen
-    return selection
+    tensor = as_tensor(profile)
+    indices = select_per_allocation_indices(tensor, (threshold,))[0]
+    return tensor.selection_from_indices(indices)
 
 
 def select_naive(
-    profile: BenchmarkProfile,
+    profile,
     overflow_cap: float = NAIVE_OVERFLOW_CAP,
 ) -> dict[str, TargetRatio]:
     """One conservative whole-program target for every allocation.
@@ -86,79 +181,59 @@ def select_naive(
     down, as a conservative whole-program annotation would), subject
     to the overflow cap.
     """
-    histogram = profile.program_histogram()
-    mean_sectors = histogram.mean_sectors()
-    chosen = TargetRatio.X1
-    for target in ALLOWED_TARGETS:  # best-first: 4x, 2x, 1.33x, 1x
-        if target.device_sectors < mean_sectors:
-            continue  # more aggressive than the program average
-        if histogram.overflow_fraction(target) <= overflow_cap:
-            chosen = target
-            break
-    return {alloc.name: chosen for alloc in profile.allocations}
+    tensor = as_tensor(profile)
+    return tensor.selection_from_indices(
+        select_naive_indices(tensor, overflow_cap)
+    )
 
 
 def apply_zero_page(
     selection: dict[str, TargetRatio],
-    profile: BenchmarkProfile,
+    profile,
     tolerance: float = ZERO_PAGE_TOLERANCE,
     max_overall_ratio: float = MAX_OVERALL_RATIO,
 ) -> dict[str, TargetRatio]:
-    """Promote stably mostly-zero allocations to the 16x class.
-
-    Promotion is greedy, largest allocation first, and stops when the
-    overall target ratio would exceed the carve-out limit.
-    """
-    promoted = dict(selection)
-    candidates = [
-        alloc
-        for alloc in profile.allocations
-        if alloc.worst_zero_overflow <= tolerance
-    ]
-    for alloc in sorted(candidates, key=lambda a: -a.fraction):
-        trial = dict(promoted)
-        trial[alloc.name] = TargetRatio.X16
-        if selection_ratio(trial, profile) <= max_overall_ratio:
-            promoted = trial
-    return promoted
+    """Promote stably mostly-zero allocations to the 16x class."""
+    tensor = as_tensor(profile)
+    indices = apply_zero_page_indices(
+        tensor.selection_indices(selection),
+        tensor,
+        tolerance,
+        max_overall_ratio,
+    )
+    return tensor.selection_from_indices(indices)
 
 
 def selection_ratio(
-    selection: dict[str, TargetRatio], profile: BenchmarkProfile
+    selection: dict[str, TargetRatio], profile
 ) -> float:
     """Overall compression ratio a selection achieves.
 
     This is the paper's capacity metric: footprint divided by the
     device memory the annotated allocations reserve.
     """
-    footprint = 0.0
-    device = 0.0
-    for alloc in profile.allocations:
-        footprint += alloc.fraction * MEMORY_ENTRY_BYTES
-        device += alloc.fraction * selection[alloc.name].device_bytes
-    if device == 0:
-        return 1.0
-    return footprint / device
+    tensor = as_tensor(profile)
+    return tensor.selection_ratio(tensor.selection_indices(selection))
 
 
-def select(
-    profile: BenchmarkProfile, design: DesignPoint
-) -> dict[str, TargetRatio]:
+def select(profile, design: DesignPoint) -> dict[str, TargetRatio]:
     """Run a full design point's selection policy."""
-    if design.per_allocation:
-        selection = select_per_allocation(profile, design.threshold)
-    else:
-        selection = select_naive(profile)
-    if design.zero_page:
-        selection = apply_zero_page(selection, profile)
-    return selection
+    tensor = as_tensor(profile)
+    return tensor.selection_from_indices(select_indices(tensor, design))
 
 
 def threshold_sweep(
-    profile: BenchmarkProfile, thresholds=(0.10, 0.20, 0.30, 0.40)
+    profile, thresholds: Iterable[float] = (0.10, 0.20, 0.30, 0.40)
 ) -> dict[float, dict[str, TargetRatio]]:
-    """Fig. 9's x-axis: per-allocation selections across thresholds."""
+    """Fig. 9's x-axis: per-allocation selections across thresholds.
+
+    All thresholds reduce over a single worst-overflow matrix — the
+    profile is consulted once, not once per threshold.
+    """
+    tensor = as_tensor(profile)
+    thresholds = tuple(thresholds)
+    batch = select_per_allocation_indices(tensor, thresholds)
     return {
-        threshold: select_per_allocation(profile, threshold)
-        for threshold in thresholds
+        threshold: tensor.selection_from_indices(batch[row])
+        for row, threshold in enumerate(thresholds)
     }

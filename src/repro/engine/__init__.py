@@ -16,6 +16,7 @@ bit-identical regardless of worker count or completion order.
 
 from repro.engine.cache import (
     CacheMiss,
+    CacheUsage,
     ResultCache,
     code_salt,
     param_digest,
@@ -27,18 +28,32 @@ from repro.engine.registry import (
     get_experiment,
     register,
 )
-from repro.engine.runner import ExperimentRunner, RunReport
+from repro.engine.runner import (
+    ExperimentRunner,
+    RunReport,
+    add_runner_options,
+    default_runner,
+    example_runner,
+    parse_size,
+    runner_from_args,
+)
 
 __all__ = [
     "CacheMiss",
+    "CacheUsage",
     "Experiment",
     "ExperimentRunner",
     "ResultCache",
     "RunReport",
+    "add_runner_options",
     "code_salt",
+    "default_runner",
+    "example_runner",
     "experiment_names",
     "get_experiment",
     "param_digest",
+    "parse_size",
     "register",
     "result_digest",
+    "runner_from_args",
 ]

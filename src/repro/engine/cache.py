@@ -147,25 +147,60 @@ class CacheKey:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one cache instance."""
+    """Hit/miss/store/eviction counters for one cache instance."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
+        self.evictions += other.evictions
+
+
+@dataclass
+class CacheUsage:
+    """On-disk footprint of a cache root at one point in time."""
+
+    entries: int
+    bytes: int
+    evictions: int  # lifetime evictions recorded at this root
+    per_experiment: dict[str, tuple[int, int]]  # name -> (entries, bytes)
+
+
+#: Sidecar file recording lifetime evictions at a cache root (runtime
+#: stats die with the process; ``repro cache`` reports across runs).
+_EVICTION_LOG = ".evictions"
 
 
 class ResultCache:
-    """Pickle-backed content-addressed cache on the local filesystem."""
+    """Pickle-backed content-addressed cache on the local filesystem.
 
-    def __init__(self, root: str | os.PathLike | None = None) -> None:
+    Args:
+        root: Cache directory (default ``$REPRO_CACHE_DIR`` or
+            ``.repro-cache/``).
+        max_bytes: Size budget; when a store pushes the root above it,
+            least-recently-used entries (hits refresh recency) are
+            evicted until the cache fits again.  ``None`` = unbounded.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         root = root or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
+        # Running on-disk size estimate so bounded puts do not rescan
+        # the whole tree each time; None until the first bounded put.
+        # Concurrent writers make it approximate — evict() rescans and
+        # resynchronises whenever the estimate crosses the budget.
+        self._approx_bytes: int | None = None
 
     def path_for(self, key: CacheKey) -> Path:
         return self.root / key.experiment / f"{key.digest}.pkl"
@@ -190,6 +225,9 @@ class ResultCache:
             self.stats.misses += 1
             raise CacheMiss(f"{key.experiment}/{key.digest} (corrupt)") from None
         self.stats.hits += 1
+        # Touch the entry so LRU eviction sees the hit as recent use.
+        with contextlib.suppress(OSError):
+            os.utime(path, None)
         return value
 
     def put(self, key: CacheKey, value) -> None:
@@ -206,6 +244,106 @@ class ResultCache:
                 os.unlink(tmp)
             raise
         self.stats.stores += 1
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self._scan_bytes()
+            else:
+                with contextlib.suppress(OSError):
+                    self._approx_bytes += path.stat().st_size
+            if self._approx_bytes > self.max_bytes:
+                self.evict(self.max_bytes, keep=path)
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Every entry file under the root."""
+        if not self.root.is_dir():
+            return []
+        return list(self.root.rglob("*.pkl"))
+
+    def _scan_bytes(self) -> int:
+        total = 0
+        for entry in self.entries():
+            with contextlib.suppress(OSError):
+                total += entry.stat().st_size
+        return total
+
+    def usage(self) -> CacheUsage:
+        """Entries and bytes on disk, per experiment and total."""
+        per_experiment: dict[str, tuple[int, int]] = {}
+        total_entries = 0
+        total_bytes = 0
+        for path in self.entries():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # raced with an eviction or concurrent clear
+            experiment = path.parent.name
+            count, occupied = per_experiment.get(experiment, (0, 0))
+            per_experiment[experiment] = (count + 1, occupied + size)
+            total_entries += 1
+            total_bytes += size
+        return CacheUsage(
+            entries=total_entries,
+            bytes=total_bytes,
+            evictions=self._read_eviction_log(),
+            per_experiment=dict(sorted(per_experiment.items())),
+        )
+
+    def evict(self, max_bytes: int, keep: Path | None = None) -> int:
+        """LRU-evict entries until the root fits ``max_bytes``.
+
+        ``keep`` (the just-written entry) is never evicted, so a budget
+        smaller than one entry degrades to keeping only the newest.
+        Returns the number of entries removed; concurrent writers may
+        race deletions, which is tolerated.
+        """
+        aged = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            aged.append((stat.st_mtime, stat.st_size, path))
+        evicted = 0
+        aged.sort(key=lambda item: item[0])
+        for _, size, path in aged:
+            if total <= max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted += 1
+        self._approx_bytes = total  # resynchronise the running estimate
+        if evicted:
+            self.stats.evictions += evicted
+            self._bump_eviction_log(evicted)
+        return evicted
+
+    def _eviction_log_path(self) -> Path:
+        return self.root / _EVICTION_LOG
+
+    def _read_eviction_log(self) -> int:
+        # One increment per line (see _bump_eviction_log).
+        try:
+            text = self._eviction_log_path().read_text()
+        except OSError:
+            return 0
+        total = 0
+        for line in text.split():
+            with contextlib.suppress(ValueError):
+                total += int(line)
+        return total
+
+    def _bump_eviction_log(self, count: int) -> None:
+        # O_APPEND write of one short line: concurrent evictors append
+        # rather than read-modify-write, so increments are never lost
+        # and readers never observe a truncated counter.
+        with contextlib.suppress(OSError):
+            with open(self._eviction_log_path(), "a") as handle:
+                handle.write(f"{count}\n")
 
     def clear(self, experiment: str | None = None) -> int:
         """Delete cached entries; returns the number removed."""

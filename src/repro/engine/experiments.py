@@ -37,6 +37,8 @@ _PIPELINE_MODULES = _SUBSTRATE_MODULES + (
     "repro.compression.bpc",
     "repro.compression.sectors",
     "repro.core.controller",
+    "repro.core.histogram",
+    "repro.core.profile_tensor",
     "repro.core.profiler",
     "repro.core.targets",
 )

@@ -34,7 +34,11 @@ _UNSET = object()
 
 
 def run_point_seeded(
-    run_point: Callable[[dict], Any], point: dict, seed: int
+    run_point: Callable[[dict], Any],
+    point: dict,
+    seed: int,
+    cache_root: str | None = None,
+    cache_max_bytes: int | None = None,
 ) -> Any:
     """Execute one design point with deterministic global-RNG state.
 
@@ -43,13 +47,29 @@ def run_point_seeded(
     The caller's global-RNG state is restored afterwards so inline
     (serial) execution does not clobber library users' ``np.random``
     streams as a side effect.
+
+    When ``cache_root`` is given, the profiler's tensor cache is
+    pointed at the runner's result cache for the duration of the point:
+    the compact columnar profiles the point computes persist on disk
+    (under the ``profile.tensor`` namespace) and are shared across
+    design points, experiments, worker processes and reruns — the
+    regenerated snapshots themselves are never cached.
     """
+    from repro.core.profiler import set_tensor_cache
+
+    previous_cache = None
+    if cache_root is not None:
+        previous_cache = set_tensor_cache(
+            ResultCache(cache_root, max_bytes=cache_max_bytes)
+        )
     state = np.random.get_state()
     try:
         np.random.seed(seed & 0xFFFF_FFFF)
         return run_point(point)
     finally:
         np.random.set_state(state)
+        if cache_root is not None:
+            set_tensor_cache(previous_cache)
 
 
 @dataclass
@@ -194,10 +214,21 @@ class ExperimentRunner:
                 finish(
                     index,
                     run_point_seeded(
-                        experiment.run_point, points[index], seeds[index]
+                        experiment.run_point,
+                        points[index],
+                        seeds[index],
+                        self._cache_root(),
+                        self._cache_max_bytes(),
                     ),
                 )
         return results, hits, len(pending)
+
+    def _cache_root(self) -> str | None:
+        """Cache root handed to point executions for tensor caching."""
+        return None if self.cache is None else str(self.cache.root)
+
+    def _cache_max_bytes(self) -> int | None:
+        return None if self.cache is None else self.cache.max_bytes
 
     def _execute_parallel(
         self,
@@ -215,6 +246,8 @@ class ExperimentRunner:
                     experiment.run_point,
                     points[index],
                     seeds[index],
+                    self._cache_root(),
+                    self._cache_max_bytes(),
                 ): index
                 for index in pending
             }
@@ -223,3 +256,91 @@ class ExperimentRunner:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
                     finish(futures[future], future.result())
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers.
+# ---------------------------------------------------------------------------
+def default_runner() -> ExperimentRunner:
+    """Serial, cache-free runner — the library-call default."""
+    return ExperimentRunner()
+
+
+def add_runner_options(parser) -> None:
+    """Add the standard engine flags to an ``argparse`` parser.
+
+    Shared by the ``repro`` CLI and the ``examples/`` scripts so every
+    entry point drives the same runner (and the same shared cache).
+    """
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for design points (default: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache/)",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="LRU-evict the cache above this size (e.g. 256M, 2G)",
+    )
+
+
+def runner_from_args(
+    args, seed: int | None = None, offline: bool = False
+) -> ExperimentRunner:
+    """Build a runner from :func:`add_runner_options` flags."""
+    cache = None
+    if getattr(args, "cache", True):
+        cache = ResultCache(
+            getattr(args, "cache_dir", None),
+            max_bytes=getattr(args, "cache_max_bytes", None),
+        )
+    return ExperimentRunner(
+        workers=getattr(args, "workers", 1),
+        cache=cache,
+        seed=rng_lib.DEFAULT_SEED if seed is None else seed,
+        offline=offline,
+    )
+
+
+def example_runner(argv=None, description: str | None = None) -> ExperimentRunner:
+    """Parse engine flags and build a runner (``examples/`` entry point).
+
+    Examples run their studies through this runner, so they share the
+    experiment cache (and the tensor cache) with ``repro run`` /
+    ``repro sweep`` invocations.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description=description,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_runner_options(parser)
+    return runner_from_args(parser.parse_args(argv))
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte size with an optional K/M/G/T suffix (``"256M"``)."""
+    cleaned = str(text).strip().upper().removesuffix("IB").removesuffix("B")
+    scale = 1
+    if cleaned and cleaned[-1] in "KMGT":
+        scale = 1024 ** (1 + "KMGT".index(cleaned[-1]))
+        cleaned = cleaned[:-1]
+    try:
+        return int(float(cleaned) * scale)
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None

@@ -46,5 +46,16 @@ class Interconnect:
         self.write_bytes += num_bytes
 
     @property
+    def busy_until(self) -> float:
+        """Cycle at which both link directions have drained.
+
+        Reads are waited on by their issuing warps, but writes are
+        fire-and-forget: without this bound a kernel whose tail is
+        writeback traffic (buddy-slot or host writes) would report
+        completion while the link is still transferring.
+        """
+        return max(self._read_free, self._write_free)
+
+    @property
     def total_bytes(self) -> int:
         return self.read_bytes + self.write_bytes

@@ -76,7 +76,10 @@ class CycleSteppedReference:
             if cycle > 50_000_000:  # pragma: no cover - runaway guard
                 raise RuntimeError("reference simulation did not converge")
 
-        cycles = max(cycle, memory.dram.busy_until)
+        # Same completion semantics as the fast simulator: DRAM posts
+        # and the interconnect's fire-and-forget write direction must
+        # drain, or the two machines diverge on write-tailed kernels.
+        cycles = max(cycle, memory.dram.busy_until, memory.link.busy_until)
         meta = memory.metadata.stats
         return SimResult(
             benchmark=trace.benchmark,

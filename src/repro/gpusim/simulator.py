@@ -238,9 +238,13 @@ class DependencyDrivenSimulator:
             sequence += 1
             heapq.heappush(heap, (next_ready, sequence, index, pc + 1, outstanding))
 
+        # Final time covers in-flight fire-and-forget traffic too: DRAM
+        # posts *and* the interconnect's write direction must drain
+        # before the kernel's memory state is complete.
         cycles = max(
             finish,
             memory.dram.busy_until,
+            memory.link.busy_until,
             max(sm_free),
         )
         meta = memory.metadata.stats

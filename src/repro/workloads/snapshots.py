@@ -263,6 +263,20 @@ def clear_snapshot_cache() -> None:
     _generate_snapshot_cached.cache_clear()
 
 
+#: Snapshots actually generated by this process (memo hits excluded).
+_GENERATION_COUNT = 0
+
+
+def generation_count() -> int:
+    """Dumps generated (not served from the memo) by this process.
+
+    The profile/evaluate pipeline's "profile once" contract is
+    asserted against this counter: a sweep over N design points must
+    generate each dump of the profile and reference runs exactly once.
+    """
+    return _GENERATION_COUNT
+
+
 @lru_cache(maxsize=_SNAPSHOT_CACHE_SIZE)
 def _generate_snapshot_cached(
     benchmark: str, index: int, config: SnapshotConfig
@@ -277,6 +291,8 @@ def _generate_snapshot_cached(
 def _generate_snapshot(
     benchmark: str, index: int, config: SnapshotConfig
 ) -> MemorySnapshot:
+    global _GENERATION_COUNT
+    _GENERATION_COUNT += 1
     spec = data_spec(get_benchmark(benchmark).name)
     counts = _entry_counts(spec, config)
     progress = index / max(config.snapshots - 1, 1)

@@ -109,6 +109,75 @@ class TestResultCache:
         assert cache.clear("a") == 1
         assert cache.clear() == 1
 
+    def test_usage_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.usage().entries == 0
+        cache.put(CacheKey("a", "k1"), list(range(100)))
+        cache.put(CacheKey("a", "k2"), list(range(100)))
+        cache.put(CacheKey("b", "k3"), "x")
+        usage = cache.usage()
+        assert usage.entries == 3
+        assert set(usage.per_experiment) == {"a", "b"}
+        assert usage.per_experiment["a"][0] == 2
+        assert usage.bytes == sum(
+            p.stat().st_size for p in cache.entries()
+        )
+
+    def test_lru_eviction_drops_oldest_first(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        keys = [CacheKey("exp", f"k{i}") for i in range(4)]
+        for index, key in enumerate(keys):
+            cache.put(key, bytes(2000))
+            # deterministic, widely spaced mtimes (filesystem mtime
+            # granularity would otherwise make ordering flaky)
+            os.utime(cache.path_for(key), (1000 + index, 1000 + index))
+        entry = cache.path_for(keys[0]).stat().st_size
+        evicted = cache.evict(max_bytes=2 * entry)
+        assert evicted == 2
+        assert not cache.contains(keys[0]) and not cache.contains(keys[1])
+        assert cache.contains(keys[2]) and cache.contains(keys[3])
+        assert cache.stats.evictions == 2
+        assert cache.usage().evictions == 2  # persisted across instances
+
+    def test_get_refreshes_recency(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        keys = [CacheKey("exp", f"k{i}") for i in range(3)]
+        for index, key in enumerate(keys):
+            cache.put(key, bytes(2000))
+            os.utime(cache.path_for(key), (1000 + index, 1000 + index))
+        cache.get(keys[0])  # hit: k0 becomes most recently used
+        entry = cache.path_for(keys[0]).stat().st_size
+        cache.evict(max_bytes=entry)
+        assert cache.contains(keys[0])
+        assert not cache.contains(keys[1]) and not cache.contains(keys[2])
+
+    def test_put_evicts_when_over_budget(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path, max_bytes=1)
+        first = CacheKey("exp", "k1")
+        cache.put(first, bytes(2000))
+        os.utime(cache.path_for(first), (1000, 1000))
+        assert cache.contains(first)  # the newest entry is never evicted
+        cache.put(CacheKey("exp", "k2"), bytes(2000))
+        assert not cache.contains(first)
+        assert cache.contains(CacheKey("exp", "k2"))
+
+    def test_parse_size(self):
+        from repro.engine import parse_size
+
+        assert parse_size("1024") == 1024
+        assert parse_size("4K") == 4096
+        assert parse_size("1.5M") == int(1.5 * 1024 * 1024)
+        assert parse_size("2G") == 2 * 1024**3
+        assert parse_size("2GiB") == 2 * 1024**3
+        with pytest.raises(ValueError):
+            parse_size("banana")
+
 
 class TestRunner:
     def test_registry_rejects_unknown(self):
@@ -205,6 +274,28 @@ class TestRunner:
             == result_digest(second)
             == result_digest(serial)
         )
+
+    def test_profile_tensors_land_in_result_cache(self, tmp_path):
+        from repro.core.profiler import clear_profile_cache
+
+        clear_profile_cache()
+        runner = ExperimentRunner(cache=ResultCache(tmp_path))
+        runner.run(
+            "compression.fig7", {"benchmarks": ("356.sp",), "config": TINY}
+        )
+        usage = runner.cache.usage()
+        # profile-role + reference-role tensors, cached alongside the
+        # point results (compact arrays — not regenerated snapshots).
+        assert usage.per_experiment["profile.tensor"][0] == 2
+
+        # a fresh process (simulated: cleared memo) is served from disk
+        clear_profile_cache()
+        reread = ExperimentRunner(cache=ResultCache(tmp_path))
+        _, report = reread.run_report(
+            "compression.fig9", {"benchmarks": ("356.sp",), "config": TINY}
+        )
+        assert report.executed == 1  # fig9 point itself is new...
+        assert reread.cache.usage().per_experiment["profile.tensor"][0] == 2
 
     def test_worker_processes_are_deterministic(self):
         # Two independent parallel runs (fresh pools, arbitrary
