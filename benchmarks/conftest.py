@@ -7,13 +7,16 @@ analysis defaults so the full harness completes in minutes.
 
 Benches execute through the same :mod:`repro.engine` runner the CLI
 uses, so the harness exercises the production sweep path; pass
-``--workers N`` to parallelise design points.  Caching is disabled —
-a bench that reads back its previous result measures nothing.
+``--workers N`` to parallelise design points.  Caching is off by
+default — a bench that reads back its previous result measures
+nothing — but ``--bench-cache [DIR]`` opts in to the shared result
+cache for fast iteration on the assertions (paper-band checks, table
+rendering) rather than the timings.
 """
 
 import pytest
 
-from repro.engine import ExperimentRunner
+from repro.engine import ExperimentRunner, ResultCache
 from repro.workloads.snapshots import SnapshotConfig
 
 #: Snapshot scaling for the static (compression) benches.
@@ -27,5 +30,12 @@ def static_config() -> SnapshotConfig:
 
 @pytest.fixture(scope="session")
 def runner(request) -> ExperimentRunner:
-    """Engine runner for the benches (uncached, ``--workers`` aware)."""
-    return ExperimentRunner(workers=request.config.getoption("--workers"))
+    """Engine runner for the benches (``--workers``/``--bench-cache``)."""
+    cache_dir = request.config.getoption("--bench-cache")
+    # The bare flag yields "": fall through to ResultCache's default
+    # root resolution ($REPRO_CACHE_DIR, then .repro-cache/) so bench
+    # hits are genuinely shared with repro run/sweep.
+    return ExperimentRunner(
+        workers=request.config.getoption("--workers"),
+        cache=None if cache_dir is None else ResultCache(cache_dir or None),
+    )

@@ -14,6 +14,20 @@ def pytest_addoption(parser):
         default=1,
         help="worker processes for engine-backed studies (default: serial)",
     )
+    parser.addoption(
+        "--bench-cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "opt in to the engine result cache for the bench harness; "
+            "the bare flag uses the CLI's default root ($REPRO_CACHE_DIR "
+            "or .repro-cache/), so hits are shared with repro run/sweep. "
+            "Benches measure nothing on a warm cache — use this for "
+            "iterating on assertions, not for timing"
+        ),
+    )
 
 
 def pytest_configure(config):

@@ -6,6 +6,13 @@ faster than GPGPUSim.  Our silicon proxy is the cycle-stepped
 reference machine: we correlate the two simulators' cycle counts over
 the benchmark suite at several trace lengths (log-log, as in the
 figure) and measure the wall-clock gap.
+
+Both simulators run the same trace, and trace generation consumes the
+cached per-entry layout (:func:`repro.workloads.traces.layout_state`)
+rather than a regenerated memory dump — a design point whose layout is
+already memoised or in the engine result cache generates zero
+snapshots, which matters here because every (benchmark, length) pair
+shares one layout.
 """
 
 from __future__ import annotations

@@ -24,7 +24,7 @@ from repro.gpusim.config import GPUConfig, scaled_config
 from repro.gpusim.simulator import DependencyDrivenSimulator
 from repro.workloads.catalog import get_benchmark
 from repro.workloads.snapshots import SnapshotConfig
-from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
+from repro.workloads.traces import TraceConfig, generate_trace, layout_state
 
 #: The paper's interconnect sweep (GB/s, unidirectional full-duplex).
 LINK_SWEEP = (50.0, 100.0, 150.0, 200.0)
@@ -84,19 +84,23 @@ def perf_benchmark_row(
     engine = BuddyCompressor(BuddyConfig(snapshot_config=profile_config))
 
     trace = generate_trace(benchmark, trace_config)
-    snapshot = layout_snapshot(benchmark, trace_config)
+    # The cached per-entry state behind the trace layout: profiling,
+    # trace generation and both compression states all reuse tensors
+    # served by the profiler's memo / the engine result cache, so a
+    # warm design point regenerates no snapshots at all.
+    layout = layout_state(benchmark, trace_config)
     selection = engine.select(engine.profile(benchmark), FINAL)
 
     ideal = DependencyDrivenSimulator(config).run(
         trace, CompressionState.ideal(trace.footprint_bytes)
     )
-    bandwidth_state = CompressionState.from_snapshot(
-        snapshot, selection, CompressionMode.BANDWIDTH
+    bandwidth_state = CompressionState.from_entry_state(
+        layout, selection, CompressionMode.BANDWIDTH
     )
     bandwidth = DependencyDrivenSimulator(config).run(trace, bandwidth_state)
 
-    buddy_state = CompressionState.from_snapshot(
-        snapshot, selection, CompressionMode.BUDDY
+    buddy_state = CompressionState.from_entry_state(
+        layout, selection, CompressionMode.BUDDY
     )
     buddy = {}
     meta_hit = 0.0

@@ -70,8 +70,14 @@ class CompressionAlgorithm(abc.ABC):
         )
 
     def compression_ratio(self, blocks: np.ndarray) -> float:
-        """Aggregate ratio (original bytes / compressed bytes) over blocks."""
+        """Aggregate ratio (original bytes / compressed bytes) over blocks.
+
+        Empty input compresses nothing, so its ratio is the neutral
+        1.0 — not the ``0 / 0 = inf`` the division would produce.
+        """
         blocks = as_blocks(blocks)
+        if blocks.shape[0] == 0:
+            return 1.0
         sizes = self.compressed_sizes(blocks)
         compressed = int(sizes.sum())
         if compressed == 0:

@@ -21,10 +21,11 @@ The engine follows the paper's flow end to end:
 
 from repro.core.entry import TargetRatio, ALLOWED_TARGETS
 from repro.core.histogram import SectorHistogram
-from repro.core.profile_tensor import ProfileTensor
+from repro.core.profile_tensor import EntryStateTensor, ProfileTensor
 from repro.core.profiler import (
     AllocationProfile,
     BenchmarkProfile,
+    entry_state_tensor,
     profile_benchmark,
     profile_tensor,
 )
@@ -43,8 +44,10 @@ __all__ = [
     "ALLOWED_TARGETS",
     "SectorHistogram",
     "ProfileTensor",
+    "EntryStateTensor",
     "AllocationProfile",
     "BenchmarkProfile",
+    "entry_state_tensor",
     "profile_benchmark",
     "profile_tensor",
     "DesignPoint",

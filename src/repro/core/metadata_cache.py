@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.translation import ENTRIES_PER_METADATA_LINE
+from repro.units import ENTRIES_PER_METADATA_LINE, METADATA_LINE_BYTES
 
-#: Metadata cache line size (bytes) — matches a DRAM sector.
-LINE_BYTES = 32
+#: Metadata cache line size (bytes) — matches a DRAM sector; shared
+#: with the metadata store's address geometry via :mod:`repro.units`.
+LINE_BYTES = METADATA_LINE_BYTES
 
 
 @dataclass

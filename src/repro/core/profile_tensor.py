@@ -260,3 +260,104 @@ class ProfileTensor:
         return SectorHistogram(
             self.program_counts.copy(), int(self.zero_fit.sum())
         )
+
+
+@dataclass(eq=False)
+class EntryStateTensor:
+    """Per-entry compression facts of one memory dump, in columnar form.
+
+    The simulators need finer grain than :class:`ProfileTensor`'s
+    histograms: for every 128 B entry of a placed benchmark, how many
+    sectors it compresses to and whether it fits the 8 B zero slot —
+    plus the allocation layout the trace generator derives addresses
+    from.  This object is that state, reduced from one
+    :class:`~repro.workloads.snapshots.MemorySnapshot` (a few KB of
+    int8/bool arrays versus the dump's multi-MB data words) and cached
+    alongside the profile tensors (see
+    :func:`repro.core.profiler.entry_state_tensor`), so the perf and
+    correlation studies never regenerate snapshots.
+
+    Attributes:
+        benchmark: Benchmark name.
+        index: Snapshot (dump) index the state was reduced from.
+        names: Allocation names in placement order.
+        fractions: ``(A,)`` footprint fraction per allocation.
+        access_weights: ``(A,)`` dynamic access intensity per byte.
+        entry_counts: ``(A,)`` memory-entries per allocation.
+        sectors: ``(N,)`` compressed sectors per entry (1..4), in
+            allocation placement order.
+        zero_fit: ``(N,)`` whether each entry fits the 8 B zero slot.
+    """
+
+    benchmark: str
+    index: int
+    names: tuple[str, ...]
+    fractions: np.ndarray
+    access_weights: np.ndarray
+    entry_counts: np.ndarray
+    sectors: np.ndarray
+    zero_fit: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.fractions = np.asarray(self.fractions, dtype=np.float64)
+        self.access_weights = np.asarray(self.access_weights, dtype=np.float64)
+        self.entry_counts = np.asarray(self.entry_counts, dtype=np.int64)
+        self.sectors = np.asarray(self.sectors, dtype=np.int8)
+        self.zero_fit = np.asarray(self.zero_fit, dtype=bool)
+        if not (
+            len(self.names)
+            == self.fractions.size
+            == self.access_weights.size
+            == self.entry_counts.size
+        ):
+            raise ValueError("allocation-axis arrays must match names")
+        if self.sectors.size != self.zero_fit.size:
+            raise ValueError("sectors and zero_fit must match")
+        if int(self.entry_counts.sum()) != self.sectors.size:
+            raise ValueError(
+                f"entry_counts sum {int(self.entry_counts.sum())} does not "
+                f"cover {self.sectors.size} entries"
+            )
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def allocation_count(self) -> int:
+        return len(self.names)
+
+    @property
+    def entries(self) -> int:
+        return int(self.sectors.size)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.entries * MEMORY_ENTRY_BYTES
+
+    def allocation_ranges(self) -> dict[str, tuple[int, int]]:
+        """Byte range of each allocation in placement order."""
+        ranges: dict[str, tuple[int, int]] = {}
+        cursor = 0
+        for name, count in zip(self.names, self.entry_counts):
+            size = int(count) * MEMORY_ENTRY_BYTES
+            ranges[name] = (cursor, cursor + size)
+            cursor += size
+        return ranges
+
+    def budget_per_entry(self, selection: Mapping[str, "TargetRatio"]) -> np.ndarray:
+        """``(N,)`` device-resident sectors per entry for a selection.
+
+        0 encodes the 16x zero class, mirroring
+        :class:`repro.gpusim.compression.CompressionState` semantics.
+        """
+        budgets = [
+            np.full(
+                int(count),
+                0
+                if selection[name] is TargetRatio.X16
+                else selection[name].device_sectors,
+                dtype=np.int8,
+            )
+            for name, count in zip(self.names, self.entry_counts)
+        ]
+        if not budgets:
+            return np.zeros(0, dtype=np.int8)
+        return np.concatenate(budgets)

@@ -9,11 +9,16 @@ selection in :mod:`repro.core.targets`.
 The canonical profile representation is the columnar
 :class:`~repro.core.profile_tensor.ProfileTensor`; the
 :class:`BenchmarkProfile` / :class:`AllocationProfile` classes kept
-here are thin views over it for existing callers.  Tensors are
-memoised per process and — when the experiment engine installs its
-result cache via :func:`set_tensor_cache` — persisted on disk, so a
-sweep profiles each (benchmark, config, algorithm) combination exactly
-once no matter how many design points it evaluates.
+here are thin views over it for existing callers.  A tensor build is
+one *stacked* pass: all allocations of all snapshots are compressed by
+a single bulk ``compressed_sizes`` call (see
+:func:`tensor_from_snapshots` and :func:`bulk_compression_call_count`).
+Tensors are memoised per process and — when the experiment engine
+installs its result cache via :func:`set_tensor_cache` — persisted on
+disk, so a sweep profiles each (benchmark, config, algorithm)
+combination exactly once no matter how many design points it
+evaluates.  :func:`entry_state_tensor` extends the same memo/cache
+treatment to the per-entry state the timing simulators consume.
 """
 
 from __future__ import annotations
@@ -22,11 +27,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.base import CompressionAlgorithm
+from repro.compression.base import CompressionAlgorithm, as_blocks
 from repro.compression.bpc import BPCCompressor
 from repro.core.entry import TargetRatio
 from repro.core.histogram import SectorHistogram
-from repro.core.profile_tensor import TARGET_INDEX, ProfileTensor
+from repro.core.profile_tensor import TARGET_INDEX, EntryStateTensor, ProfileTensor
 from repro.units import SECTORS_PER_ENTRY
 from repro.workloads.snapshots import (
     SnapshotConfig,
@@ -119,41 +124,64 @@ def tensor_from_snapshots(
     snapshots,
     algorithm: CompressionAlgorithm | None = None,
 ) -> ProfileTensor:
-    """Build the columnar profile of an explicit snapshot sequence."""
+    """Build the columnar profile of an explicit snapshot sequence.
+
+    The whole run is compressed in one stacked pass: every allocation
+    of every snapshot is gathered into a single ``(N, 32)`` uint32
+    block array alongside an (allocation, snapshot) cell map, one bulk
+    :meth:`~repro.compression.base.CompressionAlgorithm.compressed_sizes`
+    call sizes all of it, and the results are scattered back into the
+    tensor's columns.  Per-cell ``compressed_sizes`` calls would give
+    element-wise identical sizes (entries are compressed independently;
+    the property tests pin this for every registered algorithm), but
+    the stacked pass amortises the per-call dispatch across the run —
+    the "compress in bulk, off the critical path" structure of the
+    paper's offline profiler.
+    """
+    global _BULK_COMPRESSION_CALLS
     algorithm = algorithm or BPCCompressor()
     order: dict[str, int] = {}
     fractions: dict[str, float] = {}
-    columns: list[list[tuple[np.ndarray, int]]] = []
+    blocks: list[np.ndarray] = []
+    #: Cell map: (allocation position, snapshot index, entry rows).
+    cells: list[tuple[int, int, int]] = []
     snapshot_count = 0
     for snapshot in snapshots:
         for alloc in snapshot.allocations:
             position = order.setdefault(alloc.name, len(order))
-            if position == len(columns):
-                columns.append([])
-            # One SectorHistogram.from_sizes call per cell keeps the
-            # sector-bucket / zero-class rule defined in exactly one
-            # place; the tensor stores its integer columns.
-            histogram = SectorHistogram.from_sizes(
-                algorithm.compressed_sizes(alloc.data)
-            )
-            columns[position].append(
-                (histogram.sector_counts, histogram.zero_fit)
-            )
+            # Per-allocation block framing (incl. padding of ragged
+            # tails) must match what a per-cell compressed_sizes call
+            # would have seen, so cells are normalised before stacking.
+            cell_blocks = as_blocks(alloc.data)
+            blocks.append(cell_blocks)
+            cells.append((position, snapshot_count, cell_blocks.shape[0]))
             fractions[alloc.name] = alloc.spec.fraction
         snapshot_count += 1
     names = tuple(order)
-    for name, column in zip(names, columns):
-        if len(column) != snapshot_count:
+    appearances = [0] * len(names)
+    for position, _, _ in cells:
+        appearances[position] += 1
+    for name, seen in zip(names, appearances):
+        if seen != snapshot_count:
             raise ValueError(
-                f"allocation {name!r} present in {len(column)} of "
+                f"allocation {name!r} present in {seen} of "
                 f"{snapshot_count} snapshots; profiles must be rectangular"
             )
     counts = np.zeros((len(names), snapshot_count, SECTORS_PER_ENTRY), np.int64)
     zero_fit = np.zeros((len(names), snapshot_count), np.int64)
-    for position, column in enumerate(columns):
-        for snapshot, (cell, zero) in enumerate(column):
-            counts[position, snapshot] = cell
-            zero_fit[position, snapshot] = zero
+    if cells:
+        stacked = np.concatenate(blocks, axis=0)
+        sizes = algorithm.compressed_sizes(stacked)
+        _BULK_COMPRESSION_CALLS += 1
+        offset = 0
+        for position, snapshot, rows in cells:
+            # One SectorHistogram.from_sizes call per cell keeps the
+            # sector-bucket / zero-class rule defined in exactly one
+            # place; the tensor stores its integer columns.
+            histogram = SectorHistogram.from_sizes(sizes[offset : offset + rows])
+            counts[position, snapshot] = histogram.sector_counts
+            zero_fit[position, snapshot] = histogram.zero_fit
+            offset += rows
     return ProfileTensor(
         benchmark=benchmark,
         names=names,
@@ -192,10 +220,35 @@ _TENSOR_SALT_MODULES = (
 #: Tensor builds actually executed (memo and disk hits excluded).
 _PROFILE_PASSES = 0
 
+#: Bulk ``compressed_sizes`` calls issued by the stacked profiling
+#: pass.  One tensor build performs exactly one, so a sweep's total
+#: equals its distinct (benchmark, config, algorithm) combinations.
+_BULK_COMPRESSION_CALLS = 0
+
+#: Per-entry state builds actually executed (memo and disk hits
+#: excluded).  Each build generates exactly one snapshot.
+_ENTRY_STATE_BUILDS = 0
+
 
 def profile_pass_count() -> int:
     """Profiling passes (tensor builds) executed by this process."""
     return _PROFILE_PASSES
+
+
+def bulk_compression_call_count() -> int:
+    """Stacked bulk compression calls executed by this process.
+
+    The stacked-profiling contract is asserted against this counter:
+    a sweep must compress each (benchmark, config, algorithm)
+    combination in exactly one bulk call, however many snapshots,
+    allocations and design points it spans.
+    """
+    return _BULK_COMPRESSION_CALLS
+
+
+def entry_state_build_count() -> int:
+    """Entry-state reductions executed (not memo/cache hits)."""
+    return _ENTRY_STATE_BUILDS
 
 
 def set_tensor_cache(cache):
@@ -211,8 +264,9 @@ def set_tensor_cache(cache):
 
 
 def clear_profile_cache() -> None:
-    """Drop the per-process tensor memo (tests, memory pressure)."""
+    """Drop the per-process profile memos (tests, memory pressure)."""
     _TENSOR_MEMO.clear()
+    _ENTRY_STATE_MEMO.clear()
 
 
 def _algorithm_key(algorithm: CompressionAlgorithm) -> str:
@@ -268,6 +322,63 @@ def profile_tensor(
     if cache_key is not None:
         _TENSOR_CACHE.put(cache_key, tensor)
     return tensor
+
+
+#: Per-process entry-state memo: (benchmark, config, index) -> state.
+_ENTRY_STATE_MEMO: dict[tuple, EntryStateTensor] = {}
+
+
+def entry_state_tensor(
+    benchmark: str,
+    config: SnapshotConfig | None = None,
+    index: int = 0,
+) -> EntryStateTensor:
+    """The per-entry compression state of one dump of a benchmark run.
+
+    This is the ``profile.tensor`` API extended down to the
+    simulators: :class:`repro.gpusim.compression.CompressionState` and
+    the trace generator consume the returned
+    :class:`~repro.core.profile_tensor.EntryStateTensor` instead of a
+    regenerated :class:`~repro.workloads.snapshots.MemorySnapshot`.
+    Memoised per process and, when the engine has installed its result
+    cache, content-addressed on disk under the ``profile.entries``
+    namespace — so a warm Fig. 10/11 sweep generates zero snapshots.
+    """
+    global _ENTRY_STATE_BUILDS
+    from repro.workloads.catalog import get_benchmark
+    from repro.workloads.snapshots import generate_snapshot
+
+    config = config or SnapshotConfig()
+    name = get_benchmark(benchmark).name
+    memo_key = (name, config, int(index))
+    state = _ENTRY_STATE_MEMO.get(memo_key)
+    if state is not None:
+        return state
+
+    cache_key = None
+    if _TENSOR_CACHE is not None:
+        from repro.engine.cache import CacheKey, CacheMiss, code_salt, param_digest
+
+        digest = param_digest(
+            "profile.entries",
+            {"benchmark": name, "config": config, "index": int(index)},
+            code_salt(_TENSOR_SALT_MODULES),
+        )
+        cache_key = CacheKey("profile.entries", digest)
+        try:
+            state = _TENSOR_CACHE.get(cache_key)
+        except CacheMiss:
+            state = None
+        if state is not None:
+            _ENTRY_STATE_MEMO[memo_key] = state
+            return state
+
+    state = generate_snapshot(name, index, config).entry_state()
+    _ENTRY_STATE_BUILDS += 1
+    _ENTRY_STATE_MEMO[memo_key] = state
+    if cache_key is not None:
+        _TENSOR_CACHE.put(cache_key, state)
+    return state
 
 
 # ---------------------------------------------------------------------------

@@ -18,13 +18,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.entry import TargetRatio
-from repro.units import ENTRIES_PER_PAGE, MEMORY_ENTRY_BYTES, PAGE_BYTES
-
-#: Metadata bits per 128 B memory-entry.
-METADATA_BITS_PER_ENTRY = 4
-
-#: Entries covered by one 32 B metadata cache line.
-ENTRIES_PER_METADATA_LINE = 32 * 8 // METADATA_BITS_PER_ENTRY  # 64
+from repro.units import (
+    ENTRIES_PER_METADATA_LINE,
+    ENTRIES_PER_PAGE,
+    MEMORY_ENTRY_BYTES,
+    METADATA_BITS_PER_ENTRY,
+    METADATA_LINE_BYTES,
+    PAGE_BYTES,
+)
 
 #: 4-bit size codes: sectors 1..4 compressed, raw, and the zero classes.
 SIZE_CODE_ZERO = 0  # all-zero entry, no data read needed
@@ -114,12 +115,12 @@ class MetadataStore:
     def metadata_address(self, entry_index: int) -> int:
         """Device byte address of the metadata line covering an entry.
 
-        Metadata lines are 32 B and cover 64 consecutive entries; a
-        miss therefore prefetches the neighbours' codes, which is what
+        One metadata line covers 64 consecutive entries; a miss
+        therefore prefetches the neighbours' codes, which is what
         gives the metadata cache its locality (Fig. 5b).
         """
         line = entry_index // ENTRIES_PER_METADATA_LINE
-        return line * 32
+        return line * METADATA_LINE_BYTES
 
 
 @dataclass

@@ -43,8 +43,12 @@ _PIPELINE_MODULES = _SUBSTRATE_MODULES + (
     "repro.core.targets",
 )
 
-#: Modules behind the timing simulators.
+#: Modules behind the timing simulators.  Trace generation and the
+#: compression states consume the cached per-entry tensors, so the
+#: profiler layer is part of every simulator result's code salt.
 _SIMULATOR_MODULES = _SUBSTRATE_MODULES + (
+    "repro.core.profile_tensor",
+    "repro.core.profiler",
     "repro.gpusim.compression",
     "repro.gpusim.config",
     "repro.gpusim.simulator",
@@ -236,6 +240,8 @@ register(
         + (
             "repro.analysis.metadata_study",
             "repro.core.metadata_cache",
+            "repro.core.profile_tensor",
+            "repro.core.profiler",
             "repro.workloads.traces",
         ),
     )

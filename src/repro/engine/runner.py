@@ -51,9 +51,10 @@ def run_point_seeded(
     When ``cache_root`` is given, the profiler's tensor cache is
     pointed at the runner's result cache for the duration of the point:
     the compact columnar profiles the point computes persist on disk
-    (under the ``profile.tensor`` namespace) and are shared across
-    design points, experiments, worker processes and reruns — the
-    regenerated snapshots themselves are never cached.
+    (the ``profile.tensor`` namespace) alongside the per-entry states
+    the simulators consume (``profile.entries``), shared across design
+    points, experiments, worker processes and reruns — the regenerated
+    snapshots themselves are never cached.
     """
     from repro.core.profiler import set_tensor_cache
 

@@ -3,10 +3,14 @@
 The simulator needs, for every 128 B line, how many sectors the entry
 compresses to, whether it fits its allocation's device budget, and how
 many sectors overflow to buddy-memory.  The state is built from the
-same calibrated snapshots the static studies use: entry classes map to
-compressed sector counts (validated against the BPC codec by the
-workload tests), and the allocation's annotated target supplies the
-device budget.
+same calibrated dumps the static studies use, via the cached
+:class:`~repro.core.profile_tensor.EntryStateTensor` reduction (entry
+classes map to compressed sector counts, validated against the BPC
+codec by the workload tests); the allocation's annotated target
+supplies the device budget.  Building from
+:func:`repro.core.profiler.entry_state_tensor` means a warm perf or
+correlation sweep constructs its states without regenerating a single
+snapshot.
 """
 
 from __future__ import annotations
@@ -16,9 +20,9 @@ import enum
 import numpy as np
 
 from repro.core.entry import TargetRatio
+from repro.core.profile_tensor import EntryStateTensor
 from repro.units import MEMORY_ENTRY_BYTES, SECTOR_BYTES, ZERO_CLASS_BYTES
 from repro.workloads.snapshots import MemorySnapshot
-from repro.workloads.valuemodels import EntryClass, nominal_sectors_for
 
 
 class CompressionMode(enum.Enum):
@@ -74,38 +78,32 @@ class CompressionState:
         )
 
     @classmethod
+    def from_entry_state(
+        cls,
+        state: EntryStateTensor,
+        selection: dict[str, TargetRatio],
+        mode: CompressionMode = CompressionMode.BUDDY,
+    ) -> "CompressionState":
+        """Build from a cached per-entry state plus a target selection.
+
+        In ``BANDWIDTH`` mode targets are ignored (every entry is
+        device-resident, compression only shrinks transfers).
+        """
+        if mode is CompressionMode.BUDDY:
+            budgets = state.budget_per_entry(selection)
+        else:
+            budgets = np.full(state.entries, 4, dtype=np.int8)
+        return cls(mode, state.sectors, budgets, state.zero_fit)
+
+    @classmethod
     def from_snapshot(
         cls,
         snapshot: MemorySnapshot,
         selection: dict[str, TargetRatio],
         mode: CompressionMode = CompressionMode.BUDDY,
     ) -> "CompressionState":
-        """Build from a memory snapshot plus a target selection.
-
-        In ``BANDWIDTH`` mode targets are ignored (every entry is
-        device-resident, compression only shrinks transfers).
-        """
-        sectors = []
-        budgets = []
-        zero_fit = []
-        for alloc in snapshot.allocations:
-            classes = alloc.classes
-            sectors.append(nominal_sectors_for(classes))
-            zero_fit.append(
-                (classes == EntryClass.ZERO) | (classes == EntryClass.CONST)
-            )
-            if mode is CompressionMode.BUDDY:
-                target = selection[alloc.name]
-                budget = 0 if target is TargetRatio.X16 else target.device_sectors
-            else:
-                budget = 4
-            budgets.append(np.full(classes.size, budget, dtype=np.int8))
-        return cls(
-            mode,
-            np.concatenate(sectors),
-            np.concatenate(budgets),
-            np.concatenate(zero_fit),
-        )
+        """Build from an explicit (already generated) memory snapshot."""
+        return cls.from_entry_state(snapshot.entry_state(), selection, mode)
 
     # ------------------------------------------------------------------
     @property
@@ -124,7 +122,12 @@ class CompressionState:
             return sectors * SECTOR_BYTES
         budget = int(self.budgets[entry])
         if budget == 0:
-            return ZERO_CLASS_BYTES
+            # 16x entries: only those fitting the 8 B slot read it from
+            # device memory.  Entries that miss the zero class live
+            # entirely in buddy-memory (buddy_sectors covers the whole
+            # entry), so charging the slot read too would double-count
+            # DRAM traffic for exactly the entries that never touch it.
+            return ZERO_CLASS_BYTES if self.zero_fit[entry] else 0
         return min(sectors, budget) * SECTOR_BYTES
 
     def buddy_transfer_bytes(self, entry: int) -> int:

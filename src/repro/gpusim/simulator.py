@@ -30,7 +30,12 @@ from repro.gpusim.config import GPUConfig
 from repro.gpusim.dram import ChannelSet
 from repro.gpusim.interconnect import Interconnect
 from repro.gpusim.trace import KernelTrace, Op
-from repro.units import MEMORY_ENTRY_BYTES, SECTOR_BYTES
+from repro.units import (
+    ENTRIES_PER_METADATA_LINE,
+    MEMORY_ENTRY_BYTES,
+    METADATA_LINE_BYTES,
+    SECTOR_BYTES,
+)
 
 
 @dataclass
@@ -139,8 +144,12 @@ class _MemorySystem:
             return done
 
         entry = state.entry_of(line)
-        device_done = self.dram.request(
-            line, state.device_transfer_bytes(entry), now
+        device_bytes = state.device_transfer_bytes(entry)
+        # 16x entries outside the zero class live entirely in
+        # buddy-memory: no device access exists to pay row overhead,
+        # latency or channel occupancy for.
+        device_done = (
+            self.dram.request(line, device_bytes, now) if device_bytes else now
         )
         done = device_done
 
@@ -149,9 +158,13 @@ class _MemorySystem:
             meta_ready = now
             if not self.metadata.access_entry(entry_index):
                 # Metadata fetched in parallel with the device data,
-                # from the dedicated region (32 B line per 64 entries).
-                meta_addr = (entry_index // 64) * 32
-                meta_ready = self.dram.request(meta_addr, 32, now)
+                # from the dedicated region (one line per 64 entries).
+                meta_addr = (
+                    entry_index // ENTRIES_PER_METADATA_LINE
+                ) * METADATA_LINE_BYTES
+                meta_ready = self.dram.request(
+                    meta_addr, METADATA_LINE_BYTES, now
+                )
                 done = max(done, meta_ready)
             buddy_bytes = state.buddy_transfer_bytes(entry)
             if buddy_bytes:
@@ -174,7 +187,9 @@ class _MemorySystem:
             self.dram.post(line, MEMORY_ENTRY_BYTES, now)
             return
         entry = state.entry_of(line)
-        self.dram.post(line, state.device_transfer_bytes(entry), now)
+        device_bytes = state.device_transfer_bytes(entry)
+        if device_bytes:
+            self.dram.post(line, device_bytes, now)
         if state.mode is CompressionMode.BUDDY:
             buddy_bytes = state.buddy_transfer_bytes(entry)
             if buddy_bytes:

@@ -27,6 +27,18 @@ SECTORS_PER_ENTRY = MEMORY_ENTRY_BYTES // SECTOR_BYTES
 #: Device-resident bytes for the mostly-zero 16x target class.
 ZERO_CLASS_BYTES = 8
 
+#: Bytes per metadata line (Section 3.2): size metadata is prefetched
+#: one DRAM sector at a time, so the line matches the sector.
+METADATA_LINE_BYTES = SECTOR_BYTES
+
+#: Metadata bits per 128 B memory-entry.
+METADATA_BITS_PER_ENTRY = 4
+
+#: Entries covered by one metadata line (64 with the paper's codes).
+ENTRIES_PER_METADATA_LINE = (
+    METADATA_LINE_BYTES * 8 // METADATA_BITS_PER_ENTRY
+)
+
 #: Words (uint32) per memory-entry; BPC operates on 32-bit words.
 WORDS_PER_ENTRY = MEMORY_ENTRY_BYTES // 4
 

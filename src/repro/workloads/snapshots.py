@@ -136,6 +136,45 @@ class MemorySnapshot:
         """All entry classes of the dump as one ``(n,)`` array."""
         return np.concatenate([a.classes for a in self.allocations])
 
+    def entry_state(self):
+        """Reduce the dump to its per-entry compression state.
+
+        Returns the compact
+        :class:`~repro.core.profile_tensor.EntryStateTensor` (nominal
+        sectors, zero-slot eligibility, allocation layout) the
+        simulators consume.  Cached access goes through
+        :func:`repro.core.profiler.entry_state_tensor`, which serves
+        this reduction from the per-process memo or the engine result
+        cache instead of regenerating the dump.
+        """
+        from repro.core.profile_tensor import EntryStateTensor
+        from repro.workloads.valuemodels import (
+            nominal_sectors_for,
+            zero_class_eligible_for,
+        )
+
+        allocations = self.allocations
+        empty = np.zeros(0, dtype=np.int64)
+        return EntryStateTensor(
+            benchmark=self.benchmark,
+            index=self.index,
+            names=tuple(a.name for a in allocations),
+            fractions=np.array([a.spec.fraction for a in allocations]),
+            access_weights=np.array(
+                [a.spec.access_weight for a in allocations]
+            ),
+            entry_counts=np.array(
+                [a.entries for a in allocations], dtype=np.int64
+            ),
+            sectors=np.concatenate(
+                [nominal_sectors_for(a.classes) for a in allocations] or [empty]
+            ),
+            zero_fit=np.concatenate(
+                [zero_class_eligible_for(a.classes) for a in allocations]
+                or [empty.astype(bool)]
+            ),
+        )
+
 
 def _entry_counts(spec: BenchmarkDataSpec, config: SnapshotConfig) -> list[int]:
     """Scaled entry count per allocation."""

@@ -10,7 +10,12 @@ little memory-level parallelism and is exposed to added latency.
 
 Addresses fall inside the same scaled allocation layout the snapshot
 generator produces, so the compression state (entry sectors, buddy
-overflow) lines up entry-for-entry with the static studies.
+overflow) lines up entry-for-entry with the static studies.  The
+layout is consumed through the cached
+:func:`repro.core.profiler.entry_state_tensor` reduction rather than a
+full memory dump, so trace generation triggers zero snapshot
+regeneration once the per-entry state is warm (memoised in-process or
+persisted in the engine result cache).
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import rng as rng_lib
+from repro.core.profile_tensor import EntryStateTensor
+from repro.core.profiler import entry_state_tensor
 from repro.gpusim.trace import KernelTrace, Op, WarpTrace
 from repro.units import MEMORY_ENTRY_BYTES, SECTOR_BYTES
 from repro.workloads.catalog import AccessPattern, get_benchmark
@@ -49,9 +56,20 @@ class TraceConfig:
 
 
 def layout_snapshot(benchmark: str, config: TraceConfig) -> MemorySnapshot:
-    """The snapshot supplying the allocation layout for a trace."""
+    """The full memory dump behind a trace's allocation layout.
+
+    Kept for callers needing the dump's data words; the trace
+    generator itself consumes the compact :func:`layout_state`.
+    """
     return generate_snapshot(
         benchmark, config.snapshot_index, config.snapshot_config
+    )
+
+
+def layout_state(benchmark: str, config: TraceConfig) -> EntryStateTensor:
+    """The cached per-entry state supplying a trace's layout."""
+    return entry_state_tensor(
+        benchmark, config.snapshot_config, config.snapshot_index
     )
 
 
@@ -62,18 +80,13 @@ def generate_trace(
     config = config or TraceConfig()
     bench = get_benchmark(benchmark)
     character = bench.character
-    snapshot = layout_snapshot(bench.name, config)
-    footprint = snapshot.footprint_bytes
+    layout = layout_state(bench.name, config)
+    footprint = layout.footprint_bytes
     rng = rng_lib.generator(f"trace/{bench.name}", config.seed)
 
-    ranges = {}
-    cursor = 0
-    for alloc in snapshot.allocations:
-        ranges[alloc.name] = (cursor, cursor + alloc.bytes)
-        cursor += alloc.bytes
-
+    ranges = layout.allocation_ranges()
     total_warps = config.sm_count * config.warps_per_sm
-    hot_map = _hot_entry_map(snapshot, character.working_set_fraction)
+    hot_map = _hot_entry_map(layout, character.working_set_fraction)
     # Low MLP for latency-sensitive kernels (FF_Lulesh), high for
     # throughput kernels that cover latency with independent loads.
     max_outstanding = max(1, round(12 * (1.0 - character.latency_sensitivity)))
@@ -100,7 +113,9 @@ def generate_trace(
     )
 
 
-def _hot_entry_map(snapshot, working_set_fraction: float) -> np.ndarray:
+def _hot_entry_map(
+    layout: EntryStateTensor, working_set_fraction: float
+) -> np.ndarray:
     """The kernel's hot set as an array of global entry indices.
 
     Every allocation contributes chunks of consecutive entries sized
@@ -110,16 +125,21 @@ def _hot_entry_map(snapshot, working_set_fraction: float) -> np.ndarray:
     while streaming locality within chunks is preserved.
     """
     weights = np.array(
-        [a.spec.fraction * a.spec.access_weight for a in snapshot.allocations]
+        [
+            float(fraction) * float(weight)
+            for fraction, weight in zip(
+                layout.fractions, layout.access_weights
+            )
+        ]
     )
     weights = weights / weights.sum()
     total_hot = max(
-        64, int(snapshot.entries * np.clip(working_set_fraction, 0.05, 1.0))
+        64, int(layout.entries * np.clip(working_set_fraction, 0.05, 1.0))
     )
     pieces = []
     base = 0
-    for alloc, weight in zip(snapshot.allocations, weights):
-        n = alloc.entries
+    for count, weight in zip(layout.entry_counts, weights):
+        n = int(count)
         hot = min(n, max(4, int(round(total_hot * weight))))
         # Evenly spaced chunks of consecutive entries inside the
         # allocation keep DRAM row and metadata-line locality.

@@ -152,3 +152,9 @@ def nominal_free_bytes_for(classes: np.ndarray) -> np.ndarray:
     """Vectorised nominal free-size bytes per class value."""
     table = np.array([_NOMINAL_FREE[c] for c in EntryClass], dtype=np.int64)
     return table[np.asarray(classes, dtype=np.int64)]
+
+
+def zero_class_eligible_for(classes: np.ndarray) -> np.ndarray:
+    """Vectorised 16x (8 B slot) eligibility per class value."""
+    table = np.array([c.zero_class_eligible for c in EntryClass])
+    return table[np.asarray(classes, dtype=np.int64)]

@@ -305,25 +305,115 @@ class TestEvaluateMany:
 
 
 # ---------------------------------------------------------------------------
+# The stacked single-pass profiling contract.
+# ---------------------------------------------------------------------------
+ALL_ALGORITHMS = ("bpc", "bdi", "fpc", "cpack", "zeroblock")
+
+
+def _algorithm(name):
+    from repro.compression import (
+        BDICompressor,
+        BPCCompressor,
+        CPackCompressor,
+        FPCCompressor,
+        ZeroBlockCompressor,
+    )
+
+    return {
+        "bpc": BPCCompressor,
+        "bdi": BDICompressor,
+        "fpc": FPCCompressor,
+        "cpack": CPackCompressor,
+        "zeroblock": ZeroBlockCompressor,
+    }[name]()
+
+
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+def test_stacked_sizes_match_per_allocation_calls(name):
+    """The bulk pass over the stacked run is element-wise identical to
+    one compressed_sizes call per (allocation, snapshot) cell — the
+    property the stacked profiler build rests on."""
+    from repro.compression.base import as_blocks
+
+    algorithm = _algorithm(name)
+    runs = random_snapshots(17, snapshots=3)
+    cells = [alloc.data for run in runs for alloc in run.allocations]
+    stacked = np.concatenate([as_blocks(cell) for cell in cells], axis=0)
+    bulk = algorithm.compressed_sizes(stacked)
+    per_cell = np.concatenate(
+        [algorithm.compressed_sizes(cell) for cell in cells]
+    )
+    assert bulk.shape == per_cell.shape
+    assert (bulk == per_cell).all()
+
+
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+def test_stacked_tensor_matches_per_allocation_histograms(name):
+    """End to end: the stacked tensor build equals per-cell legacy
+    histogram construction for every registered algorithm."""
+    from repro.core.profiler import tensor_from_snapshots
+
+    algorithm = _algorithm(name)
+    runs = random_snapshots(23, snapshots=3)
+    tensor = tensor_from_snapshots(f"stacked-{name}", runs, algorithm)
+    for snapshot_index, run in enumerate(runs):
+        for alloc in run.allocations:
+            legacy = SectorHistogram.from_sizes(
+                algorithm.compressed_sizes(alloc.data)
+            )
+            position = tensor.index(alloc.name)
+            assert (
+                tensor.counts[position, snapshot_index]
+                == legacy.sector_counts
+            ).all()
+            assert (
+                tensor.zero_fit[position, snapshot_index] == legacy.zero_fit
+            )
+
+
+def test_one_bulk_call_per_benchmark_and_algorithm():
+    """The bulk-compression counter pins the stacked-pass contract:
+    one compressed_sizes call per (benchmark, config, algorithm),
+    memo hits adding none."""
+    from repro.compression.bdi import BDICompressor
+    from repro.core.profiler import bulk_compression_call_count, profile_tensor
+
+    clear_snapshot_cache()
+    clear_profile_cache()
+    before = bulk_compression_call_count()
+    for benchmark in ("356.sp", "354.cg"):
+        for algorithm in (None, BDICompressor()):
+            profile_tensor(benchmark, TINY, algorithm)
+    assert bulk_compression_call_count() - before == 4
+    profile_tensor("356.sp", TINY)  # memo hit: no new bulk call
+    assert bulk_compression_call_count() - before == 4
+
+
+# ---------------------------------------------------------------------------
 # The "profile once" contract (ISSUE acceptance criterion).
 # ---------------------------------------------------------------------------
 def test_threshold_sweep_profiles_reference_exactly_once():
     from repro.analysis.compression_study import fig9_benchmark
+    from repro.core.profiler import bulk_compression_call_count
 
     clear_snapshot_cache()
     clear_profile_cache()
     generated_before = generation_count()
     passes_before = profile_pass_count()
+    bulk_before = bulk_compression_call_count()
 
     sweep = fig9_benchmark("356.sp", EIGHT_THRESHOLDS, TINY)
     assert len(sweep) == len(EIGHT_THRESHOLDS)
 
     generated = generation_count() - generated_before
     passes = profile_pass_count() - passes_before
+    bulk = bulk_compression_call_count() - bulk_before
     # One profile-role pass + one reference-role pass, ten dumps each —
-    # regardless of how many thresholds the sweep evaluates.
+    # regardless of how many thresholds the sweep evaluates — and each
+    # pass compresses its whole stacked run in a single bulk call.
     assert passes == 2
     assert generated == 2 * TINY.snapshots
+    assert bulk == 2
 
 
 # ---------------------------------------------------------------------------

@@ -199,6 +199,38 @@ class TestQuantisation:
             device_bytes_for_target(5)
 
 
+class TestCompressionRatio:
+    @pytest.mark.parametrize("algorithm", [BDI, FPC, CPACK])
+    def test_empty_input_is_neutral(self, algorithm):
+        """Regression: 0 blocks / 0 compressed bytes is 1.0, not inf."""
+        assert algorithm.compression_ratio(
+            np.zeros((0, WORDS_PER_ENTRY), dtype=np.uint32)
+        ) == 1.0
+        assert algorithm.compression_ratio(np.zeros(0, dtype=np.uint8)) == 1.0
+
+    def test_empty_input_is_neutral_for_bpc_and_zeroblock(self):
+        from repro.compression import BPCCompressor, ZeroBlockCompressor
+
+        empty = np.zeros((0, WORDS_PER_ENTRY), dtype=np.uint32)
+        assert BPCCompressor().compression_ratio(empty) == 1.0
+        assert ZeroBlockCompressor().compression_ratio(empty) == 1.0
+
+    def test_all_zero_blocks_still_report_infinite_ratio(self):
+        """Non-empty input that compresses to nothing keeps the inf
+        semantics (free-size zero entries genuinely store 0 bytes)."""
+        from repro.compression import ZeroBlockCompressor
+
+        blocks = np.zeros((4, WORDS_PER_ENTRY), dtype=np.uint32)
+        assert ZeroBlockCompressor().compression_ratio(blocks) == float("inf")
+
+    def test_nonempty_ratio_unchanged(self):
+        blocks = np.zeros((2, WORDS_PER_ENTRY), dtype=np.uint32)
+        blocks[1] = np.arange(WORDS_PER_ENTRY, dtype=np.uint32) * 977_351
+        ratio = BDI.compression_ratio(blocks)
+        sizes = BDI.compressed_sizes(blocks)
+        assert ratio == 2 * MEMORY_ENTRY_BYTES / int(sizes.sum())
+
+
 class TestZeroBlock:
     def test_zero_mask(self):
         blocks = np.zeros((4, 32), dtype=np.uint32)

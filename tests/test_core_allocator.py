@@ -124,6 +124,26 @@ class TestTranslation:
         assert store.metadata_address(0) == store.metadata_address(63)
         assert store.metadata_address(64) == store.metadata_address(0) + 32
 
+    def test_metadata_line_geometry_is_defined_once(self):
+        """The cache line and the store's address arithmetic share one
+        constant (repro.units), tied to the per-entry metadata width."""
+        from repro.core.metadata_cache import LINE_BYTES
+        from repro.units import (
+            METADATA_BITS_PER_ENTRY,
+            METADATA_LINE_BYTES,
+        )
+
+        assert LINE_BYTES == METADATA_LINE_BYTES
+        assert (
+            ENTRIES_PER_METADATA_LINE
+            == METADATA_LINE_BYTES * 8 // METADATA_BITS_PER_ENTRY
+        )
+        store = MetadataStore(1 * MIB)
+        for entry in (0, 1, 63, 64, 1000):
+            assert store.metadata_address(entry) == (
+                entry // ENTRIES_PER_METADATA_LINE
+            ) * METADATA_LINE_BYTES
+
     def test_buddy_address_via_gbbr(self):
         unit = TranslationUnit(gbbr_base=1 << 40)
         ext = PageTableEntryExtension(True, TargetRatio.X2, buddy_page_offset=2)

@@ -148,6 +148,36 @@ class TestCompressionState:
         assert state.buddy_transfer_bytes(0) == 0
         assert state.buddy_transfer_bytes(1) == 4 * 32
 
+    def test_zero_class_miss_reads_nothing_from_device(self):
+        """Regression: a 16x entry that misses the 8 B slot lives
+        entirely in buddy-memory — fetching the whole entry over the
+        link AND charging the zero-slot DRAM read double-counted the
+        device traffic."""
+        sectors = np.array([3], dtype=np.int8)
+        state = CompressionState(
+            CompressionMode.BUDDY,
+            sectors,
+            np.array([0], dtype=np.int8),
+            np.array([False]),
+        )
+        assert state.buddy_transfer_bytes(0) == 3 * 32
+        assert state.device_transfer_bytes(0) == 0
+
+    def test_entry_state_construction_matches_snapshot_path(self):
+        snapshot = generate_snapshot(
+            "ResNet50", 5, SnapshotConfig(scale=1.0 / 65536)
+        )
+        selection = {a.name: TargetRatio.X2 for a in snapshot.allocations}
+        for mode in (CompressionMode.BUDDY, CompressionMode.BANDWIDTH):
+            from_state = CompressionState.from_entry_state(
+                snapshot.entry_state(), selection, mode
+            )
+            from_snap = CompressionState.from_snapshot(snapshot, selection, mode)
+            assert (from_state.sectors == from_snap.sectors).all()
+            assert (from_state.budgets == from_snap.budgets).all()
+            assert (from_state.zero_fit == from_snap.zero_fit).all()
+            assert (from_state.buddy_sectors == from_snap.buddy_sectors).all()
+
     def test_bandwidth_mode_has_no_buddy(self):
         sectors = np.array([4], dtype=np.int8)
         state = CompressionState(
@@ -202,6 +232,33 @@ class TestSimulator:
         )
         result = DependencyDrivenSimulator(config).run(trace, state)
         assert result.demand_fills == 1  # second sector came with the first
+
+    def test_16x_miss_fills_touch_only_metadata_dram(self):
+        """Regression for the transfer-accounting double-count: fills
+        of 16x entries outside the zero class consume link bandwidth
+        for the whole entry and DRAM bandwidth only for metadata."""
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        trace = _trace([_load(i * 128) for i in range(4)], mlp=1)
+        n = trace.footprint_bytes // 128
+        state = CompressionState(
+            CompressionMode.BUDDY,
+            np.full(n, 4, dtype=np.int8),
+            np.zeros(n, dtype=np.int8),  # every entry targeted 16x
+            np.zeros(n, dtype=bool),  # ... and missing the zero class
+        )
+        result = DependencyDrivenSimulator(config).run(trace, state)
+        assert result.buddy_fills == 4
+        assert result.link_bytes == 4 * 128  # whole entries over the link
+        # All four entries share one metadata line; its single 32 B
+        # miss is the only DRAM traffic (the bug added 8 B per fill).
+        assert result.dram_bytes == 32
+        # ... and the only DRAM *transaction*: buddy-resident entries
+        # must not occupy a channel or pay row overhead either.
+        from repro.gpusim.simulator import _MemorySystem
+
+        memory = _MemorySystem(config, state)
+        memory.load(0, 0, 4, 0.0)
+        assert memory.dram.requests == 1  # metadata line, nothing else
 
     def test_buddy_overflow_uses_link(self):
         config = scaled_config(sm_count=1, warps_per_sm=1)
