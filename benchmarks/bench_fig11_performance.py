@@ -2,24 +2,42 @@
 
 Sweeps bandwidth-only compression and Buddy Compression across
 interconnect bandwidths of 50/100/150/200 GB/s on all 16 benchmarks.
+
+The sweep runs on either simulator engine (``--engine`` axis below):
+the default vectorized batched-event core or the per-access legacy
+oracle.  Both produce identical datasets (the equivalence tests pin
+it); the speedup test at the bottom measures the wall-clock gap on
+the sweep's simulation hot path and asserts the vectorized engine's
+advantage.
 """
+
+import time
 
 import pytest
 
 from repro.analysis import paper_reference as paper
-from repro.analysis.perf_study import format_perf_table, run_perf_study
+from repro.analysis.perf_study import (
+    LINK_SWEEP,
+    format_perf_table,
+    run_perf_study,
+)
 from repro.workloads.traces import TraceConfig
 
 #: Shorter traces than the analysis default keep the bench quick while
 #: preserving the steady-state balance.
 TRACE = TraceConfig(memory_instructions_per_warp=64)
 
+#: Benchmarks used by the engine speed comparison (a spread of access
+#: patterns: streaming DL, random gather, stencil, latency-bound).
+SPEEDUP_BENCHMARKS = ("VGG16", "354.cg", "370.bt", "FF_Lulesh")
+
 
 @pytest.mark.slow
-def test_fig11_performance(benchmark, runner):
+@pytest.mark.parametrize("engine", ["vectorized", "legacy"])
+def test_fig11_performance(benchmark, runner, engine):
     result = benchmark.pedantic(
         run_perf_study,
-        kwargs={"trace_config": TRACE, "runner": runner},
+        kwargs={"trace_config": TRACE, "runner": runner, "engine": engine},
         rounds=1,
         iterations=1,
     )
@@ -53,3 +71,111 @@ def test_fig11_performance(benchmark, runner):
     # overall: buddy within a few percent of ideal at NVLink2 speeds
     assert 0.95 < buddy150 < 1.08
     assert 0.95 < result.suite_gmean(True, "buddy", 150.0) < 1.05
+
+
+@pytest.mark.slow
+def test_fig11_engine_speedup(benchmark):
+    """The vectorized core's wall-clock advantage on the Fig. 11 grid.
+
+    Measures the sweep's simulation hot path — every (mode, link)
+    point of several benchmarks, traces and compression states
+    prepared once and shared — for both engines, asserts identical
+    results, and pins the speedup floor.  The first vectorized pass
+    pays the full column-resolution cost (its memos are cold), so the
+    *cold* ratio below is what a fresh single-shot sweep sees; the
+    best-of-3 *warm* ratio is the steady state once the resolution
+    has amortised.  Both are printed; the assertion uses the cold
+    ratio so a column-build regression cannot hide behind the memo.
+    """
+    from repro.core.controller import BuddyCompressor, BuddyConfig
+    from repro.core.targets import FINAL
+    from repro.gpusim import (
+        CompressionMode,
+        CompressionState,
+        DependencyDrivenSimulator,
+        scaled_config,
+    )
+    from repro.workloads.snapshots import SnapshotConfig
+    from repro.workloads.traces import generate_trace, layout_state
+
+    config = scaled_config()
+    trace_config = TraceConfig(
+        sm_count=config.sm_count,
+        warps_per_sm=config.warps_per_sm,
+        memory_instructions_per_warp=64,
+    )
+    compressor = BuddyCompressor(
+        BuddyConfig(snapshot_config=SnapshotConfig(scale=1.0 / 65536))
+    )
+    grid = []
+    for name in SPEEDUP_BENCHMARKS:
+        trace = generate_trace(name, trace_config)
+        layout = layout_state(name, trace_config)
+        selection = compressor.select(compressor.profile(name), FINAL)
+        states = [
+            (config, CompressionState.ideal(trace.footprint_bytes)),
+            (
+                config,
+                CompressionState.from_entry_state(
+                    layout, selection, CompressionMode.BANDWIDTH
+                ),
+            ),
+        ]
+        buddy = CompressionState.from_entry_state(
+            layout, selection, CompressionMode.BUDDY
+        )
+        states += [(config.with_link(link), buddy) for link in LINK_SWEEP]
+        grid.append((trace, states))
+
+    def sweep(engine):
+        results = []
+        start = time.perf_counter()
+        for trace, states in grid:
+            for machine, state in states:
+                results.append(
+                    DependencyDrivenSimulator(machine, engine).run(
+                        trace, state
+                    )
+                )
+        return time.perf_counter() - start, results
+
+    def run():
+        # Alternate engines over three passes, so a noisy neighbour
+        # cannot skew either side.  Pass 0 of the vectorized engine is
+        # cold: it performs the whole column resolution.
+        legacy_times, vector_times = [], []
+        for _ in range(3):
+            seconds, legacy_results = sweep("legacy")
+            legacy_times.append(seconds)
+            seconds, vector_results = sweep("vectorized")
+            vector_times.append(seconds)
+        return legacy_times, vector_times, legacy_results, vector_results
+
+    legacy_times, vector_times, legacy_results, vector_results = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    speedup = min(legacy_times) / vector_times[0]  # cold: incl. resolution
+    warm = min(legacy_times) / min(vector_times)
+    print()
+    print(
+        f"fig11 grid ({len(legacy_results)} sims): "
+        f"legacy {min(legacy_times):.2f}s, "
+        f"vectorized cold {vector_times[0]:.2f}s / "
+        f"warm {min(vector_times):.2f}s -> "
+        f"{speedup:.2f}x cold, {warm:.2f}x warm"
+    )
+
+    # The equivalence contract holds at every grid point...
+    for legacy_result, vector_result in zip(legacy_results, vector_results):
+        assert legacy_result.cycles == vector_result.cycles
+        assert legacy_result.dram_bytes == vector_result.dram_bytes
+        assert legacy_result.link_bytes == vector_result.link_bytes
+        assert legacy_result.buddy_fills == vector_result.buddy_fills
+        assert legacy_result.demand_fills == vector_result.demand_fills
+    # ... and the vectorized engine is decisively faster.  Measured
+    # ~2-2.5x cold and ~2.5-3x warm on the development machine (the
+    # exact-order event core bounds the gain; see README "Simulator
+    # architecture"); the assertions use conservative floors to stay
+    # robust on shared CI runners.
+    assert speedup >= 1.5
+    assert warm >= 2.0

@@ -74,12 +74,14 @@ def correlation_point(
     memory_instructions: int,
     sm_count: int = 4,
     warps_per_sm: int = 6,
+    engine: str = "vectorized",
 ) -> CorrelationPoint:
     """Both simulators on one (benchmark, trace length) design point.
 
-    Cycle counts are deterministic; the wall-clock fields are measured
-    fresh on every execution (a cached point keeps the timings of the
-    run that produced it).
+    Cycle counts are deterministic (and identical across the fast
+    simulator's engines); the wall-clock fields are measured fresh on
+    every execution (a cached point keeps the timings of the run that
+    produced it).
     """
     config = scaled_config(sm_count=sm_count, warps_per_sm=warps_per_sm)
     trace_config = TraceConfig(
@@ -92,7 +94,7 @@ def correlation_point(
     state = CompressionState.ideal(trace.footprint_bytes)
 
     start = time.perf_counter()
-    fast = DependencyDrivenSimulator(config).run(trace, state)
+    fast = DependencyDrivenSimulator(config, engine).run(trace, state)
     fast_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -113,6 +115,7 @@ def run_correlation_study(
     benchmarks=DEFAULT_BENCHMARKS,
     instruction_scales=(6, 18),
     runner=None,
+    engine: str = "vectorized",
 ) -> CorrelationResult:
     """Run both simulators across benchmarks and trace lengths."""
     from repro.engine.runner import ExperimentRunner
@@ -123,5 +126,6 @@ def run_correlation_study(
         {
             "benchmarks": tuple(benchmarks),
             "instruction_scales": tuple(instruction_scales),
+            "engine": engine,
         },
     )

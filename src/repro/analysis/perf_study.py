@@ -74,14 +74,22 @@ def perf_benchmark_row(
     trace_config: TraceConfig | None = None,
     link_sweep=LINK_SWEEP,
     profile_config: SnapshotConfig | None = None,
+    engine: str = "vectorized",
 ) -> BenchmarkPerf:
-    """One benchmark's full Fig. 11 series (the engine's point unit)."""
+    """One benchmark's full Fig. 11 series (the engine's point unit).
+
+    ``engine`` selects the simulator core ("vectorized" by default;
+    "legacy" runs the per-access oracle).  The two are equivalence-
+    pinned, so the choice only affects wall-clock: the vectorized
+    engine resolves its accesses once per (trace, state) and shares
+    the resolution across the whole link sweep.
+    """
     config = config or scaled_config()
     trace_config = trace_config or TraceConfig(
         sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
     )
     profile_config = profile_config or SnapshotConfig(scale=1.0 / 65536)
-    engine = BuddyCompressor(BuddyConfig(snapshot_config=profile_config))
+    compressor = BuddyCompressor(BuddyConfig(snapshot_config=profile_config))
 
     trace = generate_trace(benchmark, trace_config)
     # The cached per-entry state behind the trace layout: profiling,
@@ -89,15 +97,17 @@ def perf_benchmark_row(
     # served by the profiler's memo / the engine result cache, so a
     # warm design point regenerates no snapshots at all.
     layout = layout_state(benchmark, trace_config)
-    selection = engine.select(engine.profile(benchmark), FINAL)
+    selection = compressor.select(compressor.profile(benchmark), FINAL)
 
-    ideal = DependencyDrivenSimulator(config).run(
+    ideal = DependencyDrivenSimulator(config, engine).run(
         trace, CompressionState.ideal(trace.footprint_bytes)
     )
     bandwidth_state = CompressionState.from_entry_state(
         layout, selection, CompressionMode.BANDWIDTH
     )
-    bandwidth = DependencyDrivenSimulator(config).run(trace, bandwidth_state)
+    bandwidth = DependencyDrivenSimulator(config, engine).run(
+        trace, bandwidth_state
+    )
 
     buddy_state = CompressionState.from_entry_state(
         layout, selection, CompressionMode.BUDDY
@@ -105,7 +115,7 @@ def perf_benchmark_row(
     buddy = {}
     meta_hit = 0.0
     for link in link_sweep:
-        result = DependencyDrivenSimulator(config.with_link(link)).run(
+        result = DependencyDrivenSimulator(config.with_link(link), engine).run(
             trace, buddy_state
         )
         buddy[link] = ideal.cycles / result.cycles
@@ -130,6 +140,7 @@ def run_perf_study(
     link_sweep=LINK_SWEEP,
     profile_config: SnapshotConfig | None = None,
     runner=None,
+    engine: str = "vectorized",
 ) -> PerfStudyResult:
     """Run the full Fig. 11 sweep.
 
@@ -143,6 +154,7 @@ def run_perf_study(
             only needs histograms).
         runner: :class:`repro.engine.ExperimentRunner` controlling
             parallelism and caching (default: serial, uncached).
+        engine: Simulator core ("vectorized" default / "legacy").
     """
     from repro.engine.runner import default_runner
 
@@ -161,6 +173,7 @@ def run_perf_study(
             "trace_config": trace_config,
             "link_sweep": tuple(link_sweep),
             "profile_config": profile_config,
+            "engine": engine,
         },
     )
 

@@ -166,6 +166,16 @@ def _experiment_params(name: str, args) -> dict:
     if benchmarks:
         key = "networks" if name.startswith("dl.") else "benchmarks"
         params[key] = tuple(benchmarks)
+    engine = getattr(args, "engine", None)
+    if engine:
+        if "engine" in get_experiment(name).defaults():
+            params["engine"] = engine
+        else:
+            print(
+                f"warning: {name} has no simulator engine axis; "
+                "--engine ignored",
+                file=sys.stderr,
+            )
     scale = getattr(args, "scale", None)
     if scale:
         defaults = get_experiment(name).defaults()
@@ -300,6 +310,16 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="override snapshot scale (e.g. 1.5e-5 for a quick smoke run)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("vectorized", "legacy"),
+        default=None,
+        help=(
+            "simulator core for the timing studies (fig10/fig11): the "
+            "batched vectorized engine (default) or the per-access "
+            "legacy oracle"
+        ),
     )
     parser.add_argument(
         "--quiet",

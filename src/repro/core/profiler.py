@@ -138,7 +138,6 @@ def tensor_from_snapshots(
     the "compress in bulk, off the critical path" structure of the
     paper's offline profiler.
     """
-    global _BULK_COMPRESSION_CALLS
     algorithm = algorithm or BPCCompressor()
     order: dict[str, int] = {}
     fractions: dict[str, float] = {}
@@ -172,7 +171,7 @@ def tensor_from_snapshots(
     if cells:
         stacked = np.concatenate(blocks, axis=0)
         sizes = algorithm.compressed_sizes(stacked)
-        _BULK_COMPRESSION_CALLS += 1
+        record_bulk_compression_call()
         offset = 0
         for position, snapshot, rows in cells:
             # One SectorHistogram.from_sizes call per cell keeps the
@@ -241,9 +240,24 @@ def bulk_compression_call_count() -> int:
     The stacked-profiling contract is asserted against this counter:
     a sweep must compress each (benchmark, config, algorithm)
     combination in exactly one bulk call, however many snapshots,
-    allocations and design points it spans.
+    allocations and design points it spans.  The Fig. 3 free-size
+    study (:func:`repro.analysis.compression_study.free_size_study`)
+    records its per-codec bulk calls here too, extending the pinning
+    to the multi-codec path.
     """
     return _BULK_COMPRESSION_CALLS
+
+
+def record_bulk_compression_call() -> None:
+    """Record a stacked bulk ``compressed_sizes`` call.
+
+    Called by every code path honouring the stacked-pass contract
+    (the profile-tensor build below, the Fig. 3 free-size study), so
+    tests can pin "exactly one bulk call per (benchmark, config,
+    algorithm)" across all of them.
+    """
+    global _BULK_COMPRESSION_CALLS
+    _BULK_COMPRESSION_CALLS += 1
 
 
 def entry_state_build_count() -> int:

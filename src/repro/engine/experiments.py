@@ -45,13 +45,22 @@ _PIPELINE_MODULES = _SUBSTRATE_MODULES + (
 
 #: Modules behind the timing simulators.  Trace generation and the
 #: compression states consume the cached per-entry tensors, so the
-#: profiler layer is part of every simulator result's code salt.
+#: profiler layer is part of every simulator result's code salt, and
+#: both engines (the per-access oracle and the vectorized core, plus
+#: the memory-system models they share) invalidate cached results.
 _SIMULATOR_MODULES = _SUBSTRATE_MODULES + (
+    "repro.core.metadata_cache",
     "repro.core.profile_tensor",
     "repro.core.profiler",
+    "repro.gpusim.cache",
     "repro.gpusim.compression",
     "repro.gpusim.config",
+    "repro.gpusim.dram",
+    "repro.gpusim.interconnect",
     "repro.gpusim.simulator",
+    "repro.gpusim.trace",
+    "repro.gpusim.vector_cache",
+    "repro.gpusim.vector_sim",
     "repro.workloads.traces",
 )
 
@@ -259,6 +268,7 @@ def _fig10_defaults() -> dict:
         "instruction_scales": (6, 18),
         "sm_count": 4,
         "warps_per_sm": 6,
+        "engine": "vectorized",
     }
 
 
@@ -269,6 +279,7 @@ def _fig10_expand(params: dict) -> list[dict]:
             "memory_instructions": scale,
             "sm_count": params["sm_count"],
             "warps_per_sm": params["warps_per_sm"],
+            "engine": params["engine"],
         }
         for name in params["benchmarks"]
         for scale in params["instruction_scales"]
@@ -283,6 +294,7 @@ def _fig10_point(point: dict):
         point["memory_instructions"],
         point["sm_count"],
         point["warps_per_sm"],
+        point["engine"],
     )
 
 
@@ -327,6 +339,7 @@ def _fig11_defaults() -> dict:
         ),
         "link_sweep": LINK_SWEEP,
         "profile_config": SnapshotConfig(scale=1.0 / 65536),
+        "engine": "vectorized",
     }
 
 
@@ -339,6 +352,7 @@ def _fig11_point(point: dict):
         point["trace_config"],
         point["link_sweep"],
         point["profile_config"],
+        point["engine"],
     )
 
 

@@ -11,14 +11,20 @@ three memory-system modes of Fig. 11:
 * ``buddy`` — full Buddy Compression: metadata cache, buddy-memory
   overflow sectors over the interconnect, decompression latency.
 
+The simulator ships two engines behind one front door
+(:class:`DependencyDrivenSimulator`): the default ``"vectorized"``
+batched-event core (:mod:`repro.gpusim.vector_sim`) and the
+``"legacy"`` per-access oracle it is pinned against.
 :mod:`repro.gpusim.reference` provides a cycle-stepped reference
 machine used as the silicon proxy for the Fig. 10 correlation study.
 """
 
 from repro.gpusim.config import GPUConfig, LinkConfig, scaled_config
 from repro.gpusim.compression import CompressionMode, CompressionState
-from repro.gpusim.simulator import DependencyDrivenSimulator, SimResult
-from repro.gpusim.trace import KernelTrace, WarpTrace
+from repro.gpusim.simulator import ENGINES, DependencyDrivenSimulator, SimResult
+from repro.gpusim.trace import ColumnarTrace, KernelTrace, WarpTrace
+from repro.gpusim.vector_cache import VectorSectoredCache
+from repro.gpusim.vector_sim import VectorizedSimulator
 
 __all__ = [
     "GPUConfig",
@@ -27,7 +33,11 @@ __all__ = [
     "CompressionMode",
     "CompressionState",
     "DependencyDrivenSimulator",
+    "VectorizedSimulator",
+    "VectorSectoredCache",
+    "ENGINES",
     "SimResult",
+    "ColumnarTrace",
     "KernelTrace",
     "WarpTrace",
 ]

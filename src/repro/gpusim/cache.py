@@ -30,7 +30,10 @@ class SectoredCache:
         self.ways = min(ways, lines)
         self.sets = max(1, lines // self.ways)
         self.line_bytes = line_bytes
-        # per set: OrderedDict tag -> [sector_mask, dirty] (LRU first)
+        # per set: OrderedDict tag -> [sector_mask, dirty_mask] (LRU
+        # first).  The dirty mask records which sectors were written,
+        # so evictions can post a sectored writeback instead of the
+        # whole line.
         self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
         self.hits = 0
         self.misses = 0
@@ -51,21 +54,31 @@ class SectoredCache:
         return False
 
     def fill(self, address: int, sector_mask: int, dirty: bool = False):
-        """Install sectors; returns evicted (address, dirty) or None."""
+        """Install sectors; returns evicted (address, dirty_mask) or None.
+
+        A dirty fill marks exactly its sectors dirty; the eviction
+        result carries the accumulated dirty mask so the writeback can
+        post only the written sectors (the sectored baseline the paper
+        assumes).  Clean evictions return ``None``.
+        """
         index, tag = self._locate(address)
         ways = self._sets[index]
         entry = ways.get(tag)
         if entry is not None:
             entry[0] |= sector_mask
-            entry[1] = entry[1] or dirty
+            if dirty:
+                entry[1] |= sector_mask
             ways.move_to_end(tag)
             return None
         evicted = None
         if len(ways) >= self.ways:
             old_tag, old_entry = ways.popitem(last=False)
             if old_entry[1]:
-                evicted = ((old_tag * self.sets + index) * self.line_bytes, True)
-        ways[tag] = [sector_mask, dirty]
+                evicted = (
+                    (old_tag * self.sets + index) * self.line_bytes,
+                    old_entry[1],
+                )
+        ways[tag] = [sector_mask, sector_mask if dirty else 0]
         return evicted
 
     @property

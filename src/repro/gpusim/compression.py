@@ -136,6 +136,28 @@ class CompressionState:
             return 0
         return int(self.buddy_sectors[entry]) * SECTOR_BYTES
 
+    # -- whole-table views (the vectorized engine's entry tables) ------
+    def device_transfer_bytes_table(self) -> np.ndarray:
+        """``(entries,)`` int64 :meth:`device_transfer_bytes` for every
+        entry at once — the per-entry DRAM cost the batched engine
+        gathers per access instead of re-deriving per instruction."""
+        n = self.entries
+        if self.mode is CompressionMode.IDEAL:
+            return np.full(n, MEMORY_ENTRY_BYTES, dtype=np.int64)
+        sectors = self.sectors.astype(np.int64)
+        if self.mode is CompressionMode.BANDWIDTH:
+            return sectors * SECTOR_BYTES
+        budgets = self.budgets.astype(np.int64)
+        compressed = np.minimum(sectors, budgets) * SECTOR_BYTES
+        zero_slot = np.where(self.zero_fit, ZERO_CLASS_BYTES, 0)
+        return np.where(budgets == 0, zero_slot, compressed)
+
+    def buddy_transfer_bytes_table(self) -> np.ndarray:
+        """``(entries,)`` int64 :meth:`buddy_transfer_bytes` per entry."""
+        if self.mode is not CompressionMode.BUDDY:
+            return np.zeros(self.entries, dtype=np.int64)
+        return self.buddy_sectors.astype(np.int64) * SECTOR_BYTES
+
     def buddy_access_fraction(self) -> float:
         """Fraction of entries requiring any buddy traffic."""
         if self.mode is not CompressionMode.BUDDY or self.entries == 0:

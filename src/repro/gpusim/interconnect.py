@@ -9,6 +9,8 @@ latency.  The paper sweeps the unidirectional bandwidth from 50 to
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.gpusim.config import GPUConfig
 
 #: Per-transaction overhead (request/response headers, flit padding).
@@ -44,6 +46,25 @@ class Interconnect:
         start = max(self._write_free, arrival)
         self._write_free = start + service
         self.write_bytes += num_bytes
+
+    # -- batched reservation API ---------------------------------------
+    def read_many(self, byte_counts, arrivals):
+        """Batched :meth:`read`; reservations resolve in order."""
+        byte_counts = np.asarray(byte_counts, dtype=np.int64)
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        done = np.empty(byte_counts.size, dtype=np.float64)
+        for position, (count, arrival) in enumerate(
+            zip(byte_counts.tolist(), arrivals.tolist())
+        ):
+            done[position] = self.read(count, arrival)
+        return done
+
+    def write_many(self, byte_counts, arrivals) -> None:
+        """Batched :meth:`write`; reservations resolve in order."""
+        byte_counts = np.asarray(byte_counts, dtype=np.int64)
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        for count, arrival in zip(byte_counts.tolist(), arrivals.tolist()):
+            self.write(count, arrival)
 
     @property
     def busy_until(self) -> float:

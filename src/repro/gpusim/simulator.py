@@ -127,7 +127,7 @@ class _MemorySystem:
                 self._fill_l2(line, FULL_MASK, now)
         evicted = self.l2.fill(line, mask, dirty=True)
         if evicted is not None:
-            self._writeback(evicted[0], now)
+            self._writeback(evicted[0], now, evicted[1])
 
     # ------------------------------------------------------------------
     def _fill_l2(self, line: int, mask: int, now: float) -> float:
@@ -140,7 +140,7 @@ class _MemorySystem:
             done = self.dram.request(line, requested * SECTOR_BYTES, now)
             evicted = self.l2.fill(line, mask)
             if evicted is not None:
-                self._writeback(evicted[0], now)
+                self._writeback(evicted[0], now, evicted[1])
             return done
 
         entry = state.entry_of(line)
@@ -177,14 +177,21 @@ class _MemorySystem:
         # Compressed fills install the whole line (over-fetch effect).
         evicted = self.l2.fill(line, FULL_MASK)
         if evicted is not None:
-            self._writeback(evicted[0], now)
+            self._writeback(evicted[0], now, evicted[1])
         return done + self.config.decompression_latency
 
-    def _writeback(self, line: int, now: float) -> None:
-        """Dirty eviction: post the compressed line back to storage."""
+    def _writeback(self, line: int, now: float, dirty_mask: int) -> None:
+        """Dirty eviction: post the written data back to storage.
+
+        The uncompressed (IDEAL) baseline is sectored in both
+        directions: only the sectors actually written move.  The
+        compressed modes recompress at entry granularity, so they
+        post the whole compressed entry regardless of the mask.
+        """
         state = self.state
         if state.mode is CompressionMode.IDEAL:
-            self.dram.post(line, MEMORY_ENTRY_BYTES, now)
+            dirty_sectors = bin(dirty_mask).count("1")
+            self.dram.post(line, dirty_sectors * SECTOR_BYTES, now)
             return
         entry = state.entry_of(line)
         device_bytes = state.device_transfer_bytes(entry)
@@ -196,14 +203,46 @@ class _MemorySystem:
                 self.link.write(buddy_bytes, now)
 
 
-class DependencyDrivenSimulator:
-    """The fast simulator (Fig. 10's subject; Fig. 11's instrument)."""
+#: Engines selectable on :class:`DependencyDrivenSimulator`.
+ENGINES = ("vectorized", "legacy")
 
-    def __init__(self, config: GPUConfig) -> None:
+
+class DependencyDrivenSimulator:
+    """The fast simulator (Fig. 10's subject; Fig. 11's instrument).
+
+    Two interchangeable engines implement the same machine:
+
+    * ``"vectorized"`` (default) — the batched-event core in
+      :mod:`repro.gpusim.vector_sim`: per-access quantities resolve as
+      whole-trace array operations, events advance in the same
+      ``(ready, sequence)`` order over prepared columns.
+    * ``"legacy"`` — the original per-access engine below, kept as the
+      correctness oracle.
+
+    The equivalence contract (identical traffic counters, identical
+    cycles) is pinned by ``tests/test_vector_sim.py``.
+    """
+
+    def __init__(self, config: GPUConfig, engine: str = "vectorized") -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.config = config
+        self.engine = engine
 
     def run(self, trace: KernelTrace, state: CompressionState) -> SimResult:
         """Simulate a kernel trace under a compression state."""
+        if self.engine == "vectorized":
+            from repro.gpusim.vector_sim import VectorizedSimulator
+
+            return VectorizedSimulator(self.config).run(trace, state)
+        return self._run_legacy(trace, state)
+
+    def _run_legacy(
+        self, trace: KernelTrace, state: CompressionState
+    ) -> SimResult:
+        """The per-access oracle engine (one heap event per probe)."""
         config = self.config
         memory = _MemorySystem(config, state)
         if trace.host_traffic_fraction > 0:

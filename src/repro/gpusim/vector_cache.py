@@ -1,0 +1,161 @@
+"""Array-backed sectored cache for the batched-event engine.
+
+:class:`VectorSectoredCache` keeps the same model as
+:class:`repro.gpusim.cache.SectoredCache` — LRU, set-associative,
+128 B lines with 32 B sector validity and per-line dirty sector masks
+— but holds its state in per-set structures built for the vectorized
+simulator's event core instead of one ``OrderedDict`` per set:
+
+* ``set_masks[s]`` — sector-presence mask per resident line, in an
+  insertion-ordered dict whose key order *is* the LRU stamp order
+  (least recent first; a touch deletes and re-inserts);
+* ``set_dirty[s]`` — dirty sector mask, held only for dirty lines.
+
+The event core consumes :meth:`decompose` (whole-trace set/line
+resolution) and the per-set structures directly — its probes and
+fills are inlined over them.  The batched entry points
+(:meth:`probe_many`, :meth:`fill_many`) are the bulk/offline API over
+the same state: they decompose whole address arrays with NumPy and
+resolve the LRU transitions in arrival order, because cache state
+transitions are inherently order-dependent (a probe's outcome depends
+on every earlier fill) and the sequential resolve is what keeps the
+counters and eviction stream identical to the legacy cache.  The
+equivalence property tests drive both caches with the same random
+operation sequences and pin hits, misses and evictions.
+
+:meth:`state_arrays` exports the occupancy as dense
+``(sets, ways)`` tag / sector-mask / dirty-mask / LRU-stamp arrays
+for inspection and digesting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import SECTORS_PER_ENTRY
+
+FULL_MASK = (1 << SECTORS_PER_ENTRY) - 1
+
+
+class VectorSectoredCache:
+    """LRU, set-associative, sectored cache over per-set ordered maps.
+
+    Args:
+        capacity_bytes: Total data capacity.
+        ways: Associativity.
+        line_bytes: Line size (128 B throughout the paper).
+    """
+
+    def __init__(self, capacity_bytes: int, ways: int, line_bytes: int = 128):
+        lines = max(1, capacity_bytes // line_bytes)
+        self.ways = min(ways, lines)
+        self.sets = max(1, lines // self.ways)
+        self.line_bytes = line_bytes
+        #: line id -> sector mask; dict order is LRU order (LRU first).
+        self.set_masks: list[dict[int, int]] = [{} for _ in range(self.sets)]
+        #: line id -> dirty sector mask; holds only dirty lines.
+        self.set_dirty: list[dict[int, int]] = [{} for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # -- scalar operations (SectoredCache-compatible) ------------------
+    def lookup(self, address: int, sector_mask: int) -> bool:
+        """Probe for all sectors in ``sector_mask``; updates LRU."""
+        line = address // self.line_bytes
+        masks = self.set_masks[line % self.sets]
+        present = masks.get(line)
+        if present is not None and present & sector_mask == sector_mask:
+            del masks[line]  # re-insertion moves the line to MRU
+            masks[line] = present
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, address: int, sector_mask: int, dirty: bool = False):
+        """Install sectors; returns evicted (address, dirty_mask) or None."""
+        line = address // self.line_bytes
+        index = line % self.sets
+        masks = self.set_masks[index]
+        present = masks.get(line)
+        if present is not None:
+            del masks[line]
+            masks[line] = present | sector_mask
+            if dirty:
+                dirty_map = self.set_dirty[index]
+                dirty_map[line] = dirty_map.get(line, 0) | sector_mask
+            return None
+        evicted = None
+        if len(masks) >= self.ways:
+            victim = next(iter(masks))  # LRU = oldest key
+            del masks[victim]
+            victim_dirty = self.set_dirty[index].pop(victim, 0)
+            if victim_dirty:
+                evicted = (victim * self.line_bytes, victim_dirty)
+        masks[line] = sector_mask
+        if dirty:
+            self.set_dirty[index][line] = sector_mask
+        return evicted
+
+    # -- batched operations --------------------------------------------
+    def decompose(self, addresses) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized address split: ``(line ids, set indices)``."""
+        lines = np.asarray(addresses, dtype=np.int64) // self.line_bytes
+        return lines, lines % self.sets
+
+    def probe_many(self, addresses, sector_masks) -> np.ndarray:
+        """Batched :meth:`lookup`; returns a boolean hit array."""
+        lines, _ = self.decompose(addresses)
+        masks = np.asarray(sector_masks, dtype=np.int64)
+        hits = np.empty(lines.size, dtype=bool)
+        line_bytes = self.line_bytes
+        for position, (line, mask) in enumerate(
+            zip(lines.tolist(), masks.tolist())
+        ):
+            hits[position] = self.lookup(line * line_bytes, mask)
+        return hits
+
+    def fill_many(
+        self, addresses, sector_masks, dirty: bool = False
+    ) -> list[tuple[int, int]]:
+        """Batched :meth:`fill`; returns the dirty evictions in order."""
+        lines, _ = self.decompose(addresses)
+        masks = np.asarray(sector_masks, dtype=np.int64)
+        evictions = []
+        line_bytes = self.line_bytes
+        for line, mask in zip(lines.tolist(), masks.tolist()):
+            evicted = self.fill(line * line_bytes, mask, dirty)
+            if evicted is not None:
+                evictions.append(evicted)
+        return evictions
+
+    # -- exports --------------------------------------------------------
+    def state_arrays(self):
+        """Dense ``(sets, ways)`` tag/mask/dirty/stamp array snapshot.
+
+        Tags are global line ids (-1 for empty ways); stamps rank
+        recency within each set (0 = least recent).
+        """
+        shape = (self.sets, self.ways)
+        tags = np.full(shape, -1, dtype=np.int64)
+        masks = np.zeros(shape, dtype=np.int16)
+        dirty = np.zeros(shape, dtype=np.int16)
+        stamps = np.full(shape, -1, dtype=np.int64)
+        for index in range(self.sets):
+            for stamp, (line, mask) in enumerate(
+                self.set_masks[index].items()
+            ):
+                tags[index, stamp] = line
+                masks[index, stamp] = mask
+                dirty[index, stamp] = self.set_dirty[index].get(line, 0)
+                stamps[index, stamp] = stamp
+        return tags, masks, dirty, stamps
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

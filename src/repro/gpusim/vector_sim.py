@@ -1,0 +1,891 @@
+"""Vectorized batched-event core for the dependency-driven simulator.
+
+The legacy engine (:mod:`repro.gpusim.simulator`) resolves every
+instruction with a stack of Python method calls — heap pop, sector
+mask arithmetic, ``OrderedDict`` cache probes, per-access
+``CompressionState`` lookups, DRAM channel decomposition.  Profiling
+shows those per-access recomputations dominating the Fig. 10/11 hot
+path, yet almost all of them are static for a given ``(trace, state,
+machine)``: the address never changes, so neither do the sector mask,
+the cache set, the DRAM channel/row/bank, the metadata line, the
+compressed transfer sizes or the per-hop service times.
+
+This engine therefore splits the simulation into:
+
+1. **Columnar resolution** — every per-access quantity is computed
+   for the *whole trace at once* with array operations over the
+   :class:`ColumnarTrace` columns and the :class:`CompressionState`
+   entry tables
+   (:meth:`~repro.gpusim.compression.CompressionState.device_transfer_bytes_table`
+   /
+   :meth:`~repro.gpusim.compression.CompressionState.buddy_transfer_bytes_table`),
+   using the batched geometry helpers (:meth:`ChannelSet.decompose`,
+   :meth:`VectorSectoredCache.decompose`).  Trace/machine geometry
+   (:func:`_geometry_columns`) is shared by every compression state;
+   the per-state tables (:func:`_state_columns`) are shared by every
+   link bandwidth — so the Fig. 11 sweep resolves each benchmark's
+   accesses once, not once per design point.
+2. **An event core** (:meth:`VectorizedSimulator.run`) that advances
+   ready warps in the *exact* ``(ready time, sequence)`` order of the
+   legacy scheduler, with each event reduced to a row-tuple unpack
+   over the prepared columns and a handful of float operations.
+   Cache, DRAM and interconnect state transitions are inherently
+   order-dependent, so each round's accesses resolve sequentially —
+   but all the per-access *derivation* already happened in step 1.
+
+The result is the oracle contract the studies rely on: identical
+integer traffic counters (``dram_bytes``, ``link_bytes``, fills, hit
+counts) and bit-identical cycle counts to the legacy engine, at a
+fraction of the wall-clock (``bench_fig11_performance.py`` pins the
+speedup; ``tests/test_vector_sim.py`` pins the equivalence).
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+from dataclasses import replace
+from heapq import heappop, heappushpop
+from itertools import repeat
+
+import numpy as np
+
+from repro.core.metadata_cache import MetadataCache
+from repro.gpusim.compression import CompressionMode, CompressionState
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.dram import (
+    BANKS_PER_CHANNEL,
+    ROW_BYTES,
+    ROW_HIT_OVERHEAD,
+    ROW_MISS_OVERHEAD,
+    ChannelSet,
+)
+from repro.gpusim.interconnect import TRANSACTION_OVERHEAD_BYTES
+from repro.gpusim.trace import KernelTrace, Op
+from repro.gpusim.vector_cache import VectorSectoredCache
+from repro.units import (
+    ENTRIES_PER_METADATA_LINE,
+    MEMORY_ENTRY_BYTES,
+    METADATA_LINE_BYTES,
+    SECTOR_BYTES,
+    SECTORS_PER_ENTRY,
+)
+
+#: Event codes: compute / local load / local store / host load /
+#: host store / local store needing the read-modify-write check.
+_COMPUTE, _LOAD, _STORE, _HOST_LOAD, _HOST_STORE, _STORE_RMW = range(6)
+
+#: Dirty-sector population count for 4-bit masks (sectored writebacks).
+_POPCOUNT4 = [bin(mask).count("1") for mask in range(16)]
+
+_FULL = (1 << SECTORS_PER_ENTRY) - 1
+
+#: Per-trace column memos.  Values hold their states/configs strongly
+#: (keeping ids valid); entries die with their trace.
+_GEOMETRY_MEMO: "weakref.WeakKeyDictionary[KernelTrace, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_STATE_MEMO: "weakref.WeakKeyDictionary[KernelTrace, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _machine_key(config: GPUConfig):
+    """Machine geometry key: everything except the interconnect.
+
+    Link bandwidth only scales runtime divisions, so one column
+    resolution serves the whole Fig. 11 link sweep.
+    """
+    return replace(config, link=None)
+
+
+class _Geometry:
+    """Per-(trace, machine) columns shared by every compression state."""
+
+    __slots__ = (
+        "codes_ideal", "codes_packed", "busy", "probe_rows",
+        "host_rows", "meta_rows", "lid", "l2set", "chan", "row", "bank",
+        "count", "mask",
+    )
+
+
+class _StateColumns:
+    """Per-(trace, state, machine) resolution tables."""
+
+    __slots__ = (
+        "codes", "fill_rows", "entries", "use_meta", "ideal",
+        "wb_dev", "wb_serv", "wb_bud", "wb_bnum",
+        "wb_ideal_bytes", "wb_ideal_serv",
+    )
+
+
+def _geometry_columns(trace: KernelTrace, config: GPUConfig) -> _Geometry:
+    key = _machine_key(config)
+    per_trace = _GEOMETRY_MEMO.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _GEOMETRY_MEMO[trace] = per_trace
+    geometry = per_trace.get(key)
+    if geometry is not None:
+        return geometry
+
+    col = trace.columnar()
+    ops = col.ops.astype(np.int64)
+    a = col.a
+    b = col.b
+    is_mem = ops != int(Op.COMPUTE)
+    host_base = (
+        trace.footprint_bytes if trace.host_traffic_fraction > 0 else None
+    )
+    host = (
+        (a >= host_base) & is_mem
+        if host_base is not None
+        else np.zeros(ops.size, dtype=bool)
+    )
+
+    # Event codes for the sectored baseline and the compressed modes
+    # (the latter mark partial local stores for the RMW check).
+    codes_ideal = ops.copy()
+    codes_ideal[host & (ops == int(Op.LOAD))] = _HOST_LOAD
+    codes_ideal[host & (ops == int(Op.STORE))] = _HOST_STORE
+    codes_packed = codes_ideal.copy()
+    codes_packed[
+        (ops == int(Op.STORE)) & (b < SECTORS_PER_ENTRY) & ~host
+    ] = _STORE_RMW
+
+    # Address geometry: line ids, sector masks, cache sets, DRAM
+    # coordinates — one batched decompose per trace.
+    lid = a // MEMORY_ENTRY_BYTES
+    first = (a % MEMORY_ENTRY_BYTES) // SECTOR_BYTES
+    count = np.minimum(b, SECTORS_PER_ENTRY - first)
+    mask = ((1 << count) - 1) << first
+    l1_proto = VectorSectoredCache(
+        config.l1_bytes, config.l1_ways, config.line_bytes
+    )
+    l2_proto = VectorSectoredCache(
+        config.l2_bytes, config.l2_ways, config.line_bytes
+    )
+    _, l1set = l1_proto.decompose(a)
+    _, l2set = l2_proto.decompose(a)
+    # The owning SM is fixed per warp, so the flat per-(SM, set) L1
+    # index resolves at build time too.
+    row_counts = np.diff(col.warp_starts)
+    row_sm = np.repeat(col.warp_sm.astype(np.int64), row_counts)
+    l1flat = row_sm * l1_proto.sets + l1set
+
+    dram = ChannelSet(
+        config.dram_channels,
+        config.dram_bytes_per_cycle_per_channel,
+        config.dram_latency,
+        config.line_bytes,
+    )
+    chan, row, bank = dram.decompose(lid * MEMORY_ENTRY_BYTES)
+
+    geometry = _Geometry()
+    geometry.codes_ideal = codes_ideal.tolist()
+    geometry.codes_packed = codes_packed.tolist()
+    geometry.busy = (
+        np.where(is_mem, 0, a).astype(np.float64) * config.issue_interval
+    ).tolist()
+    geometry.probe_rows = list(
+        zip(lid.tolist(), mask.tolist(), l1flat.tolist(), l2set.tolist())
+    )
+    geometry.lid = lid
+    geometry.mask = mask
+    geometry.l2set = l2set
+    geometry.chan = chan
+    geometry.row = row
+    geometry.bank = bank
+    geometry.count = count
+
+    if host_base is not None:
+        hbytes = b * SECTOR_BYTES
+        geometry.host_rows = list(
+            zip(
+                hbytes.tolist(),
+                (hbytes + TRANSACTION_OVERHEAD_BYTES).tolist(),
+            )
+        )
+    else:
+        geometry.host_rows = None
+
+    # Metadata line geometry (consumed by BUDDY states only).
+    meta = MetadataCache(
+        config.metadata_cache_bytes,
+        config.metadata_cache_ways,
+        config.metadata_cache_slices,
+    )
+    meta_line = lid // ENTRIES_PER_METADATA_LINE
+    mslice = meta_line % meta.slices
+    mset = (meta_line // meta.slices) % meta.sets_per_slice
+    mslot = mslice * meta.sets_per_slice + mset
+    mtag = meta_line // (meta.slices * meta.sets_per_slice)
+    mchan, mrow, mbank = dram.decompose(meta_line * METADATA_LINE_BYTES)
+    geometry.meta_rows = list(
+        zip(
+            mtag.tolist(), mslot.tolist(), mchan.tolist(),
+            mrow.tolist(), mbank.tolist(),
+        )
+    )
+    per_trace[key] = geometry
+    return geometry
+
+
+def _state_columns(
+    trace: KernelTrace, state: CompressionState, config: GPUConfig
+) -> tuple[_Geometry, _StateColumns]:
+    key = (id(state), _machine_key(config))
+    per_trace = _STATE_MEMO.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _STATE_MEMO[trace] = per_trace
+    hit = per_trace.get(key)
+    if hit is not None and hit[0] is state:
+        return hit[1], hit[2]
+
+    geometry = _geometry_columns(trace, config)
+    mode = state.mode
+    ideal = mode is CompressionMode.IDEAL
+    use_meta = mode is CompressionMode.BUDDY
+    chan_bpc = config.dram_bytes_per_cycle_per_channel
+
+    entries = state.entries
+    entry = geometry.lid % entries
+    dev_table = state.device_transfer_bytes_table()
+    buddy_table = state.buddy_transfer_bytes_table()
+    if ideal:
+        dev = geometry.count * SECTOR_BYTES  # sectored fill
+        fmask = geometry.mask
+    else:
+        dev = np.take(dev_table, entry)
+        fmask = repeat(_FULL)
+    serv = dev / chan_bpc
+    serv_hit = (serv + ROW_HIT_OVERHEAD).tolist()
+    serv_miss = (serv + ROW_MISS_OVERHEAD).tolist()
+    dev_list = dev.tolist()
+    chan_list = geometry.chan.tolist()
+    row_list = geometry.row.tolist()
+    bank_list = geometry.bank.tolist()
+    fmask_iter = fmask.tolist() if isinstance(fmask, np.ndarray) else fmask
+
+    columns = _StateColumns()
+    columns.codes = (
+        geometry.codes_ideal if ideal else geometry.codes_packed
+    )
+    columns.entries = entries
+    columns.use_meta = use_meta
+    columns.ideal = ideal
+    if use_meta:
+        bud = np.take(buddy_table, entry)
+        columns.fill_rows = list(
+            zip(
+                dev_list, serv_hit, serv_miss, chan_list, row_list,
+                bank_list, fmask_iter, bud.tolist(),
+                (bud + TRANSACTION_OVERHEAD_BYTES).tolist(),
+            )
+        )
+    else:
+        columns.fill_rows = list(
+            zip(
+                dev_list, serv_hit, serv_miss, chan_list, row_list,
+                bank_list, fmask_iter,
+            )
+        )
+
+    # Writeback tables: per-entry for the compressed modes, dirty-mask
+    # indexed for the sectored IDEAL baseline.
+    if ideal:
+        wb_bytes = [
+            _POPCOUNT4[m] * SECTOR_BYTES for m in range(1 << SECTORS_PER_ENTRY)
+        ]
+        columns.wb_ideal_bytes = wb_bytes
+        columns.wb_ideal_serv = [n / chan_bpc for n in wb_bytes]
+        columns.wb_dev = columns.wb_serv = None
+        columns.wb_bud = columns.wb_bnum = None
+    else:
+        columns.wb_ideal_bytes = columns.wb_ideal_serv = None
+        columns.wb_dev = dev_table.tolist()
+        columns.wb_serv = (dev_table / chan_bpc).tolist()
+        columns.wb_bud = buddy_table.tolist()
+        columns.wb_bnum = (buddy_table + TRANSACTION_OVERHEAD_BYTES).tolist()
+    per_trace[key] = (state, geometry, columns)
+    return geometry, columns
+
+
+class VectorizedSimulator:
+    """The batched-event engine behind ``engine="vectorized"``."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+
+    def run(self, trace: KernelTrace, state: CompressionState):
+        """Simulate a kernel trace under a compression state.
+
+        Returns a :class:`repro.gpusim.simulator.SimResult` whose
+        traffic counters are identical to the legacy engine's and
+        whose cycle count is bit-identical.
+        """
+        from repro.gpusim.simulator import SimResult
+
+        config = self.config
+        geometry, columns = _state_columns(trace, state, config)
+        col = trace.columnar()
+        ideal = columns.ideal
+        use_meta = columns.use_meta
+
+        # -- machine constants ----------------------------------------
+        interval = config.issue_interval
+        l1_lat = config.l1_latency
+        l2_lat = config.l2_latency
+        dram_lat = config.dram_latency
+        link_bpc = config.link.bytes_per_cycle(config.clock_hz)
+        link_lat = config.link.latency_cycles
+        fill_tail = (0 if ideal else config.decompression_latency) + l2_lat
+        row_hit_ov = ROW_HIT_OVERHEAD
+        row_miss_ov = ROW_MISS_OVERHEAD
+        line_bytes = config.line_bytes
+        row_bytes = ROW_BYTES
+        banks = BANKS_PER_CHANNEL
+        channels = config.dram_channels
+        chan_bpc = config.dram_bytes_per_cycle_per_channel
+        meta_serv_hit = METADATA_LINE_BYTES / chan_bpc + row_hit_ov
+        meta_serv_miss = METADATA_LINE_BYTES / chan_bpc + row_miss_ov
+
+        # -- column locals --------------------------------------------
+        codes = columns.codes
+        busy_col = geometry.busy
+        probe_rows = geometry.probe_rows
+        host_rows = geometry.host_rows
+        meta_rows = geometry.meta_rows
+        fill_rows = columns.fill_rows
+        entries = columns.entries
+        wb_dev = columns.wb_dev
+        wb_serv = columns.wb_serv
+        wb_bud = columns.wb_bud
+        wb_bnum = columns.wb_bnum
+        wb_ideal_bytes = columns.wb_ideal_bytes
+        wb_ideal_serv = columns.wb_ideal_serv
+
+        # -- memory-system state --------------------------------------
+        l1s = [
+            VectorSectoredCache(
+                config.l1_bytes, config.l1_ways, config.line_bytes
+            )
+            for _ in range(config.sm_count)
+        ]
+        l2 = VectorSectoredCache(
+            config.l2_bytes, config.l2_ways, config.line_bytes
+        )
+        l1_ways = l1s[0].ways
+        l2_ways = l2.ways
+        l1_masks: list[dict] = []
+        for cache in l1s:
+            l1_masks.extend(cache.set_masks)
+        l2_masks = l2.set_masks
+        l2_dirty = l2.set_dirty
+
+        metadata = MetadataCache(
+            config.metadata_cache_bytes,
+            config.metadata_cache_ways,
+            config.metadata_cache_slices,
+        )
+        meta_flat = [
+            metadata._sets[s][t]
+            for s in range(metadata.slices)
+            for t in range(metadata.sets_per_slice)
+        ]
+        meta_ways = metadata.ways
+
+        next_free = [0.0] * channels
+        open_rows = [-1] * (channels * banks)
+        link_read_free = 0.0
+        link_write_free = 0.0
+
+        # -- counters --------------------------------------------------
+        l1_hits = l1_misses = 0
+        l2_hits = l2_misses = 0
+        dram_bytes = dram_requests = dram_row_hits = 0
+        link_read_bytes = link_write_bytes = 0
+        meta_hits = meta_misses = 0
+        buddy_fills = demand_fills = 0
+        rmw_counter = 0
+
+        # NOTE: the event core below is fully inlined — no closures.
+        # A nested helper capturing the loop's counters would turn
+        # them (and every other shared local) into cell variables,
+        # degrading the hottest loads/stores from LOAD_FAST to
+        # LOAD_DEREF across the whole loop (~2.5x slower core).  The
+        # writeback and RMW-fill blocks are therefore spelled out at
+        # each of their call sites.
+
+        # -- warp state ------------------------------------------------
+        starts = col.warp_starts.tolist()
+        warp_sm = col.warp_sm.tolist()
+        warp_mlp = col.warp_mlp.tolist()
+        warp_count = len(warp_sm)
+        ips = starts[:warp_count]
+        ends = starts[1:]
+        outstanding: list[list] = [[] for _ in range(warp_count)]
+        out_heads = [0] * warp_count
+        sm_free = [0.0] * config.sm_count
+        heap = [(0.0, w, w) for w in range(warp_count)]
+        sequence = warp_count
+        finish = 0.0
+        pushpop = heappushpop
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            # -- the event core ---------------------------------------
+            event = heappop(heap) if heap else None
+            while event is not None:
+                ready, _, w = event
+                i = ips[w]
+                if i == ends[w]:
+                    out = outstanding[w]
+                    head = out_heads[w]
+                    if len(out) > head:
+                        last = max(out[head:])
+                        if last > finish:
+                            finish = last
+                    if ready > finish:
+                        finish = ready
+                    event = heappop(heap) if heap else None
+                    continue
+                ips[w] = i + 1
+                sm = warp_sm[w]
+                free = sm_free[sm]
+                issue = ready if ready > free else free
+                code = codes[i]
+
+                if code == 0:  # _COMPUTE
+                    next_ready = issue + busy_col[i]
+                    sm_free[sm] = next_ready
+                elif code == 1:  # _LOAD
+                    sm_free[sm] = issue + interval
+                    lid, msk, flat1, s2 = probe_rows[i]
+                    d1 = l1_masks[flat1]
+                    e1 = d1.get(lid)
+                    if e1 is not None and e1 & msk == msk:
+                        l1_hits += 1
+                        del d1[lid]
+                        d1[lid] = e1
+                        done = issue + l1_lat
+                    else:
+                        l1_misses += 1
+                        d2 = l2_masks[s2]
+                        e2 = d2.get(lid)
+                        if e2 is not None and e2 & msk == msk:
+                            l2_hits += 1
+                            del d2[lid]
+                            d2[lid] = e2
+                            done = issue + l2_lat
+                        else:
+                            l2_misses += 1
+                            arrival = issue + l2_lat
+                            demand_fills += 1
+                            if use_meta:
+                                (
+                                    dev, sh, sm_, ch, rw, bk, fm, bud, bnum,
+                                ) = fill_rows[i]
+                            else:
+                                dev, sh, sm_, ch, rw, bk, fm = fill_rows[i]
+                            # The sectored baseline requests even a
+                            # zero-sector fill (degenerate traces):
+                            # the oracle charges the channel overhead.
+                            if dev or ideal:
+                                if open_rows[bk] == rw:
+                                    serv = sh
+                                    dram_row_hits += 1
+                                else:
+                                    serv = sm_
+                                    open_rows[bk] = rw
+                                free = next_free[ch]
+                                start = free if free > arrival else arrival
+                                end = start + serv
+                                next_free[ch] = end
+                                dram_bytes += dev
+                                dram_requests += 1
+                                done = end + dram_lat
+                            else:
+                                done = arrival
+                            if use_meta:
+                                mt, ms, mc, mr, mb = meta_rows[i]
+                                ways = meta_flat[ms]
+                                if mt in ways:
+                                    ways.remove(mt)
+                                    ways.append(mt)
+                                    meta_hits += 1
+                                    meta_ready = arrival
+                                else:
+                                    meta_misses += 1
+                                    ways.append(mt)
+                                    if len(ways) > meta_ways:
+                                        ways.pop(0)
+                                    if open_rows[mb] == mr:
+                                        serv = meta_serv_hit
+                                        dram_row_hits += 1
+                                    else:
+                                        serv = meta_serv_miss
+                                        open_rows[mb] = mr
+                                    free = next_free[mc]
+                                    start = (
+                                        free if free > arrival else arrival
+                                    )
+                                    end = start + serv
+                                    next_free[mc] = end
+                                    dram_bytes += METADATA_LINE_BYTES
+                                    dram_requests += 1
+                                    meta_ready = end + dram_lat
+                                    if meta_ready > done:
+                                        done = meta_ready
+                                if bud:
+                                    start = (
+                                        link_read_free
+                                        if link_read_free > meta_ready
+                                        else meta_ready
+                                    )
+                                    end = start + bnum / link_bpc
+                                    link_read_free = end
+                                    link_read_bytes += bud
+                                    buddy_fills += 1
+                                    t = end + link_lat
+                                    if t > done:
+                                        done = t
+                            # Install (full line for compressed fills).
+                            if e2 is not None:
+                                del d2[lid]
+                                d2[lid] = e2 | fm
+                            else:
+                                if len(d2) >= l2_ways:
+                                    victim = next(iter(d2))
+                                    del d2[victim]
+                                    dirty_mask = l2_dirty[s2].pop(victim, 0)
+                                    if dirty_mask:
+                                        # Writeback (dirty eviction).
+                                        if ideal:
+                                            num = wb_ideal_bytes[dirty_mask]
+                                            serv = wb_ideal_serv[dirty_mask]
+                                        else:
+                                            ventry = victim % entries
+                                            num = wb_dev[ventry]
+                                            serv = wb_serv[ventry]
+                                        if num:
+                                            vch = victim % channels
+                                            vrow = victim * line_bytes // row_bytes
+                                            vbk = vch * banks + vrow % banks
+                                            if open_rows[vbk] == vrow:
+                                                serv = serv + row_hit_ov
+                                                dram_row_hits += 1
+                                            else:
+                                                serv = serv + row_miss_ov
+                                                open_rows[vbk] = vrow
+                                            vfree = next_free[vch]
+                                            vstart = (
+                                                vfree
+                                                if vfree > arrival
+                                                else arrival
+                                            )
+                                            next_free[vch] = vstart + serv
+                                            dram_bytes += num
+                                            dram_requests += 1
+                                        if use_meta:
+                                            vbud = wb_bud[victim % entries]
+                                            if vbud:
+                                                vstart = (
+                                                    link_write_free
+                                                    if link_write_free
+                                                    > arrival
+                                                    else arrival
+                                                )
+                                                link_write_free = (
+                                                    vstart
+                                                    + wb_bnum[
+                                                        victim % entries
+                                                    ]
+                                                    / link_bpc
+                                                )
+                                                link_write_bytes += vbud
+                                d2[lid] = fm
+                            done = done + fill_tail
+                        # L1 fill (never dirty; evictions are silent).
+                        if e1 is not None:
+                            del d1[lid]
+                            d1[lid] = e1 | msk
+                        else:
+                            if len(d1) >= l1_ways:
+                                del d1[next(iter(d1))]
+                            d1[lid] = msk
+                    out = outstanding[w]
+                    out.append(done)
+                    head = out_heads[w]
+                    if len(out) - head >= warp_mlp[w]:
+                        next_ready = out[head]
+                        out_heads[w] = head + 1
+                    else:
+                        next_ready = issue + interval
+                elif code == 2 or code == 5:  # _STORE / _STORE_RMW
+                    sm_free[sm] = issue + interval
+                    lid, msk, flat1, s2 = probe_rows[i]
+                    if code == 5:
+                        # Partial store into a compressed entry: every
+                        # fourth pays the read-modify-write fetch
+                        # unless the line is fully resident.  This is
+                        # the load-miss fill at arrival ``issue``; the
+                        # completion time is discarded because stores
+                        # do not stall the warp.
+                        rmw_counter += 1
+                        if not rmw_counter % 4:
+                            d2 = l2_masks[s2]
+                            e2 = d2.get(lid)
+                            if e2 is not None and e2 & _FULL == _FULL:
+                                l2_hits += 1
+                                del d2[lid]
+                                d2[lid] = e2
+                            else:
+                                l2_misses += 1
+                                demand_fills += 1
+                                if use_meta:
+                                    (
+                                        dev, sh, sm_, ch, rw, bk, fm,
+                                        bud, bnum,
+                                    ) = fill_rows[i]
+                                else:
+                                    dev, sh, sm_, ch, rw, bk, fm = (
+                                        fill_rows[i]
+                                    )
+                                if dev:
+                                    if open_rows[bk] == rw:
+                                        serv = sh
+                                        dram_row_hits += 1
+                                    else:
+                                        serv = sm_
+                                        open_rows[bk] = rw
+                                    free = next_free[ch]
+                                    start = free if free > issue else issue
+                                    next_free[ch] = start + serv
+                                    dram_bytes += dev
+                                    dram_requests += 1
+                                if use_meta:
+                                    meta_ready = issue
+                                    mt, ms, mc, mr, mb = meta_rows[i]
+                                    ways = meta_flat[ms]
+                                    if mt in ways:
+                                        ways.remove(mt)
+                                        ways.append(mt)
+                                        meta_hits += 1
+                                    else:
+                                        meta_misses += 1
+                                        ways.append(mt)
+                                        if len(ways) > meta_ways:
+                                            ways.pop(0)
+                                        if open_rows[mb] == mr:
+                                            serv = meta_serv_hit
+                                            dram_row_hits += 1
+                                        else:
+                                            serv = meta_serv_miss
+                                            open_rows[mb] = mr
+                                        free = next_free[mc]
+                                        start = (
+                                            free if free > issue else issue
+                                        )
+                                        end = start + serv
+                                        next_free[mc] = end
+                                        dram_bytes += METADATA_LINE_BYTES
+                                        dram_requests += 1
+                                        meta_ready = end + dram_lat
+                                    if bud:
+                                        start = (
+                                            link_read_free
+                                            if link_read_free > meta_ready
+                                            else meta_ready
+                                        )
+                                        link_read_free = (
+                                            start + bnum / link_bpc
+                                        )
+                                        link_read_bytes += bud
+                                        buddy_fills += 1
+                                # Install the whole line.
+                                if e2 is not None:
+                                    del d2[lid]
+                                    d2[lid] = e2 | fm
+                                else:
+                                    if len(d2) >= l2_ways:
+                                        victim = next(iter(d2))
+                                        del d2[victim]
+                                        dirty_mask = l2_dirty[s2].pop(
+                                            victim, 0
+                                        )
+                                        if dirty_mask:
+                                            # Writeback (RMW is only
+                                            # taken in the compressed
+                                            # modes).
+                                            ventry = victim % entries
+                                            num = wb_dev[ventry]
+                                            serv = wb_serv[ventry]
+                                            if num:
+                                                vch = victim % channels
+                                                vrow = victim * line_bytes // row_bytes
+                                                vbk = (
+                                                    vch * banks
+                                                    + vrow % banks
+                                                )
+                                                if open_rows[vbk] == vrow:
+                                                    serv = serv + row_hit_ov
+                                                    dram_row_hits += 1
+                                                else:
+                                                    serv = (
+                                                        serv + row_miss_ov
+                                                    )
+                                                    open_rows[vbk] = vrow
+                                                vfree = next_free[vch]
+                                                vstart = (
+                                                    vfree
+                                                    if vfree > issue
+                                                    else issue
+                                                )
+                                                next_free[vch] = (
+                                                    vstart + serv
+                                                )
+                                                dram_bytes += num
+                                                dram_requests += 1
+                                            if use_meta:
+                                                vbud = wb_bud[ventry]
+                                                if vbud:
+                                                    vstart = (
+                                                        link_write_free
+                                                        if link_write_free
+                                                        > issue
+                                                        else issue
+                                                    )
+                                                    link_write_free = (
+                                                        vstart
+                                                        + wb_bnum[ventry]
+                                                        / link_bpc
+                                                    )
+                                                    link_write_bytes += (
+                                                        vbud
+                                                    )
+                                    d2[lid] = fm
+                    d2 = l2_masks[s2]
+                    e2 = d2.get(lid)
+                    if e2 is not None:
+                        del d2[lid]
+                        d2[lid] = e2 | msk
+                        dirty = l2_dirty[s2]
+                        dirty[lid] = dirty.get(lid, 0) | msk
+                    else:
+                        if len(d2) >= l2_ways:
+                            victim = next(iter(d2))
+                            del d2[victim]
+                            dirty_mask = l2_dirty[s2].pop(victim, 0)
+                            if dirty_mask:
+                                # Writeback (dirty eviction).
+                                if ideal:
+                                    num = wb_ideal_bytes[dirty_mask]
+                                    serv = wb_ideal_serv[dirty_mask]
+                                else:
+                                    ventry = victim % entries
+                                    num = wb_dev[ventry]
+                                    serv = wb_serv[ventry]
+                                if num:
+                                    vch = victim % channels
+                                    vrow = victim * line_bytes // row_bytes
+                                    vbk = vch * banks + vrow % banks
+                                    if open_rows[vbk] == vrow:
+                                        serv = serv + row_hit_ov
+                                        dram_row_hits += 1
+                                    else:
+                                        serv = serv + row_miss_ov
+                                        open_rows[vbk] = vrow
+                                    vfree = next_free[vch]
+                                    vstart = (
+                                        vfree if vfree > issue else issue
+                                    )
+                                    next_free[vch] = vstart + serv
+                                    dram_bytes += num
+                                    dram_requests += 1
+                                if use_meta:
+                                    vbud = wb_bud[victim % entries]
+                                    if vbud:
+                                        vstart = (
+                                            link_write_free
+                                            if link_write_free > issue
+                                            else issue
+                                        )
+                                        link_write_free = (
+                                            vstart
+                                            + wb_bnum[victim % entries]
+                                            / link_bpc
+                                        )
+                                        link_write_bytes += vbud
+                        d2[lid] = msk
+                        l2_dirty[s2][lid] = msk
+                    next_ready = issue + interval
+                elif code == 3:  # _HOST_LOAD
+                    sm_free[sm] = issue + interval
+                    hbytes, hnum = host_rows[i]
+                    start = (
+                        link_read_free if link_read_free > issue else issue
+                    )
+                    end = start + hnum / link_bpc
+                    link_read_free = end
+                    link_read_bytes += hbytes
+                    done = end + link_lat
+                    out = outstanding[w]
+                    out.append(done)
+                    head = out_heads[w]
+                    if len(out) - head >= warp_mlp[w]:
+                        next_ready = out[head]
+                        out_heads[w] = head + 1
+                    else:
+                        next_ready = issue + interval
+                else:  # _HOST_STORE: fire-and-forget remote write
+                    sm_free[sm] = issue + interval
+                    hbytes, hnum = host_rows[i]
+                    start = (
+                        link_write_free if link_write_free > issue else issue
+                    )
+                    link_write_free = start + hnum / link_bpc
+                    link_write_bytes += hbytes
+                    next_ready = issue + interval
+
+                sequence += 1
+                continuation = (next_ready, sequence, w)
+                if heap:
+                    # A continuation that precedes the whole heap is
+                    # the next event by construction — skip the sift.
+                    if continuation < heap[0]:
+                        event = continuation
+                    else:
+                        event = pushpop(heap, continuation)
+                else:
+                    event = continuation
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        # -- drain + result -------------------------------------------
+        cycles = max(
+            finish,
+            max(next_free),
+            link_read_free,
+            link_write_free,
+            max(sm_free),
+        )
+        l1_total = l1_hits + l1_misses
+        l2_total = l2_hits + l2_misses
+        meta_total = meta_hits + meta_misses
+        return SimResult(
+            benchmark=trace.benchmark,
+            mode=state.mode.value,
+            cycles=cycles,
+            instructions=trace.instruction_count,
+            l1_hit_rate=l1_hits / l1_total if l1_total else 0.0,
+            l2_hit_rate=l2_hits / l2_total if l2_total else 0.0,
+            dram_bytes=dram_bytes,
+            link_bytes=link_read_bytes + link_write_bytes,
+            metadata_hit_rate=meta_hits / meta_total if meta_total else 0.0,
+            buddy_fills=buddy_fills,
+            demand_fills=demand_fills,
+        )

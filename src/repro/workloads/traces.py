@@ -27,7 +27,7 @@ import numpy as np
 from repro import rng as rng_lib
 from repro.core.profile_tensor import EntryStateTensor
 from repro.core.profiler import entry_state_tensor
-from repro.gpusim.trace import KernelTrace, Op, WarpTrace
+from repro.gpusim.trace import ColumnarTrace, KernelTrace, Op
 from repro.units import MEMORY_ENTRY_BYTES, SECTOR_BYTES
 from repro.workloads.catalog import AccessPattern, get_benchmark
 from repro.workloads.snapshots import MemorySnapshot, SnapshotConfig, generate_snapshot
@@ -91,25 +91,32 @@ def generate_trace(
     # throughput kernels that cover latency with independent loads.
     max_outstanding = max(1, round(12 * (1.0 - character.latency_sensitivity)))
 
-    warps = []
-    for warp_index in range(total_warps):
-        instructions = _warp_stream(
+    columns = [
+        _warp_stream(
             warp_index, total_warps, footprint, hot_map, character,
             config, rng,
         )
-        warps.append(
-            WarpTrace(
-                sm=warp_index % config.sm_count,
-                instructions=instructions,
-                max_outstanding=max_outstanding,
-            )
-        )
+        for warp_index in range(total_warps)
+    ]
+    lengths = np.array([ops.size for ops, _, _ in columns], dtype=np.int64)
+    starts = np.zeros(total_warps + 1, dtype=np.int64)
+    np.cumsum(lengths, out=starts[1:])
+    columnar = ColumnarTrace(
+        ops=np.concatenate([ops for ops, _, _ in columns]).astype(np.int8),
+        a=np.concatenate([a for _, a, _ in columns]),
+        b=np.concatenate([b for _, _, b in columns]),
+        warp_starts=starts,
+        warp_sm=(
+            np.arange(total_warps, dtype=np.int32) % config.sm_count
+        ),
+        warp_mlp=np.full(total_warps, max_outstanding, dtype=np.int32),
+    )
     return KernelTrace(
         benchmark=bench.name,
-        warps=warps,
         footprint_bytes=footprint,
         allocation_ranges=ranges,
         host_traffic_fraction=character.host_traffic_fraction,
+        columnar=columnar,
     )
 
 
@@ -161,13 +168,17 @@ def _warp_stream(
     character,
     config: TraceConfig,
     rng: np.random.Generator,
-) -> list[tuple[int, int, int]]:
-    """One warp's instruction stream.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One warp's instruction stream as ``(ops, a, b)`` columns.
 
     Streaming and strided kernels follow grid-stride loops — warp
     ``w`` touches hot entries ``w, w+W, w+2W, ...`` — which is how
     real GPU kernels cover large arrays and what gives them DRAM row
     locality and shared metadata lines.
+
+    The whole stream is assembled with array operations: each memory
+    instruction optionally follows a compute run (``compute[i] > 0``),
+    so instruction rows are scattered to ``i + cumsum(has_compute)``.
     """
     hot_entries = hot_map.size
 
@@ -198,18 +209,23 @@ def _warp_stream(
         sectors = np.ones(count, dtype=np.int64)
         first = rng.integers(0, 4, count)
 
-    entry_indices = hot_map[indices]
-    instructions: list[tuple[int, int, int]] = []
-    for i in range(count):
-        if compute[i] > 0:
-            instructions.append((int(Op.COMPUTE), int(compute[i]), 0))
-        entry = int(entry_indices[i])
-        address = entry * MEMORY_ENTRY_BYTES
-        sector_count = int(sectors[i])
-        first_sector = min(int(first[i]), 4 - sector_count)
-        address += first_sector * SECTOR_BYTES
-        if host[i]:
-            address += footprint  # the native host region
-        op = Op.LOAD if is_load[i] else Op.STORE
-        instructions.append((int(op), int(address), sector_count))
-    return instructions
+    sectors = sectors.astype(np.int64)
+    addresses = hot_map[indices] * MEMORY_ENTRY_BYTES
+    addresses = addresses + (
+        np.minimum(first, 4 - sectors) * SECTOR_BYTES
+    )
+    addresses[host] += footprint  # the native host region
+
+    has_compute = compute > 0
+    mem_rows = np.arange(count, dtype=np.int64) + np.cumsum(has_compute)
+    rows = count + int(has_compute.sum())
+    ops = np.empty(rows, dtype=np.int64)
+    a = np.empty(rows, dtype=np.int64)
+    b = np.zeros(rows, dtype=np.int64)
+    compute_rows = mem_rows[has_compute] - 1
+    ops[compute_rows] = int(Op.COMPUTE)
+    a[compute_rows] = compute[has_compute]
+    ops[mem_rows] = np.where(is_load, int(Op.LOAD), int(Op.STORE))
+    a[mem_rows] = addresses
+    b[mem_rows] = sectors
+    return ops, a, b

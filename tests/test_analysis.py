@@ -46,6 +46,46 @@ class TestCompressionStudy:
     def test_suite_gmean_empty(self):
         assert suite_gmean([], True) == 0.0
 
+    def test_free_size_study_one_bulk_call_per_codec(self):
+        """The Fig. 3 stacked pass: each benchmark's blocks stack once
+        and every codec sizes that one array with one bulk call."""
+        from repro.analysis.compression_study import free_size_study
+        from repro.compression import BDICompressor, BPCCompressor
+        from repro.core.profiler import bulk_compression_call_count
+        from repro.workloads.snapshots import generation_count
+
+        free_size_study("356.sp", TINY)  # warm the snapshot memo
+        calls = bulk_compression_call_count()
+        generations = generation_count()
+        rows = free_size_study(
+            "356.sp", TINY, (BPCCompressor(), BDICompressor())
+        )
+        assert bulk_compression_call_count() - calls == 2
+        assert generation_count() - generations == 0  # stacked once, warm
+        assert set(rows) == {"bpc", "bdi"}
+
+    def test_free_size_study_matches_per_snapshot_path(self):
+        """Stacked sizing is element-wise identical to sizing each
+        dump separately (entries compress independently)."""
+        from repro.analysis.compression_study import free_size_study
+        from repro.compression import BPCCompressor, free_sizes_for_sizes
+        from repro.compression.zeroblock import zero_mask
+        from repro.units import MEMORY_ENTRY_BYTES
+        from repro.workloads.snapshots import generate_run
+
+        stacked = free_size_study("354.cg", TINY)["bpc"]
+        bpc = BPCCompressor()
+        expected = []
+        for snapshot in generate_run("354.cg", TINY):
+            data = snapshot.stacked_data()
+            free = free_sizes_for_sizes(
+                bpc.compressed_sizes(data), zero_mask(data)
+            )
+            expected.append(
+                data.shape[0] * MEMORY_ENTRY_BYTES / max(int(free.sum()), 1)
+            )
+        assert stacked.per_snapshot == expected
+
     def test_fig6_heatmap_shape(self):
         heatmap = fig6_heatmap("356.sp", config=TINY)
         assert heatmap.shape[1] == ENTRIES_PER_PAGE

@@ -53,12 +53,27 @@ class TestSectoredCache:
         assert cache.lookup(0, sector_mask(0, 1))
         assert not cache.lookup(0, sector_mask(1, 1))  # other sector absent
 
-    def test_lru_eviction_returns_dirty(self):
+    def test_lru_eviction_returns_dirty_mask(self):
         cache = SectoredCache(256, ways=2)  # 2 lines, 1 set
         assert cache.fill(0, 0xF, dirty=True) is None
         assert cache.fill(128, 0xF) is None
         evicted = cache.fill(256, 0xF)
-        assert evicted == (0, True)
+        assert evicted == (0, 0xF)
+
+    def test_dirty_mask_accumulates_written_sectors_only(self):
+        cache = SectoredCache(256, ways=2)
+        cache.fill(0, sector_mask(0, 1), dirty=True)  # write sector 0
+        cache.fill(0, sector_mask(2, 1))  # clean fill of sector 2
+        cache.fill(0, sector_mask(3, 1), dirty=True)  # write sector 3
+        cache.fill(128, 0xF)
+        evicted = cache.fill(256, 0xF)
+        assert evicted == (0, 0b1001)  # only the written sectors
+
+    def test_clean_eviction_returns_none(self):
+        cache = SectoredCache(256, ways=2)
+        cache.fill(0, 0xF)
+        cache.fill(128, 0xF)
+        assert cache.fill(256, 0xF) is None
 
     def test_mask_validation(self):
         with pytest.raises(ValueError):
@@ -305,6 +320,26 @@ class TestSimulator:
         assert result.cycles >= link.busy_until
         # and the drain genuinely dominates the issue-bound finish time
         assert link.busy_until > 64 * config.issue_interval
+
+    def test_ideal_writeback_posts_only_dirty_sectors(self):
+        """Regression: IDEAL-mode dirty writebacks used to post the
+        full 128 B line even when a single sector was written.  The
+        sectored baseline posts only the dirty sectors."""
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        l2_lines = config.l2_bytes // config.line_bytes
+        # One single-sector store per line, over enough distinct lines
+        # to force dirty evictions, then a read sweep to flush more.
+        stores = [_store(i * 128, 1) for i in range(2 * l2_lines)]
+        trace = _trace(stores, footprint=1 << 24, mlp=4)
+        result = DependencyDrivenSimulator(config).run(
+            trace, CompressionState.ideal(trace.footprint_bytes)
+        )
+        # Every evicted line carries exactly one dirty sector: 32 B
+        # per writeback, not 128 B.  Stores in IDEAL mode trigger no
+        # demand fills, so *all* DRAM traffic is writebacks.
+        assert result.demand_fills == 0
+        evictions = 2 * l2_lines - l2_lines
+        assert result.dram_bytes == evictions * 32
 
     def test_deterministic(self):
         trace = generate_trace("370.bt", SMALL_TRACE)
