@@ -3,12 +3,15 @@
 Sweeps bandwidth-only compression and Buddy Compression across
 interconnect bandwidths of 50/100/150/200 GB/s on all 16 benchmarks.
 
-The sweep runs on either simulator engine (``--engine`` axis below):
-the default vectorized batched-event core or the per-access legacy
-oracle.  Both produce identical datasets (the equivalence tests pin
-it); the speedup test at the bottom measures the wall-clock gap on
-the sweep's simulation hot path and asserts the vectorized engine's
-advantage.
+The sweep runs on any of the three simulator engines (``--engine``
+axis below): the default vectorized batched-event core, the relaxed
+frozen-order tape engine, or the per-access legacy oracle.
+Vectorized and legacy produce identical datasets (the equivalence
+tests pin it); the relaxed engine is exact at the 150 GB/s reference
+interconnect and tolerance-pinned elsewhere
+(``tests/test_relaxed_sim.py``).  The speedup test at the bottom
+measures the wall-clock gap on the sweep's simulation hot path and
+asserts each fast engine's advantage.
 """
 
 import time
@@ -33,7 +36,7 @@ SPEEDUP_BENCHMARKS = ("VGG16", "354.cg", "370.bt", "FF_Lulesh")
 
 
 @pytest.mark.slow
-@pytest.mark.parametrize("engine", ["vectorized", "legacy"])
+@pytest.mark.parametrize("engine", ["vectorized", "relaxed", "legacy"])
 def test_fig11_performance(benchmark, runner, engine):
     result = benchmark.pedantic(
         run_perf_study,
@@ -75,24 +78,30 @@ def test_fig11_performance(benchmark, runner, engine):
 
 @pytest.mark.slow
 def test_fig11_engine_speedup(benchmark):
-    """The vectorized core's wall-clock advantage on the Fig. 11 grid.
+    """The fast cores' wall-clock advantage on the Fig. 11 grid.
 
     Measures the sweep's simulation hot path — every (mode, link)
     point of several benchmarks, traces and compression states
-    prepared once and shared — for both engines, asserts identical
-    results, and pins the speedup floor.  The first vectorized pass
-    pays the full column-resolution cost (its memos are cold), so the
-    *cold* ratio below is what a fresh single-shot sweep sees; the
-    best-of-3 *warm* ratio is the steady state once the resolution
-    has amortised.  Both are printed; the assertion uses the cold
-    ratio so a column-build regression cannot hide behind the memo.
+    prepared once and shared — for all three engines, asserts the
+    equivalence contracts, and pins the speedup floors.  The first
+    vectorized pass is fully cold (it performs the whole column
+    resolution), so its *cold* ratio is what a fresh single-shot
+    sweep sees and the assertion uses it — a column-build regression
+    cannot hide behind the memo.  The first relaxed pass runs after
+    vectorized has warmed the shared column memos, so its "cold"
+    ratio isolates the tape recording + replay cost on top of warm
+    columns; the relaxed assertion uses the *warm* (best-of-3) ratio,
+    because amortising the one exact-order recording across the link
+    sweep is exactly that engine's architecture.
     """
     from repro.core.controller import BuddyCompressor, BuddyConfig
     from repro.core.targets import FINAL
     from repro.gpusim import (
+        REFERENCE_LINK_GBPS,
         CompressionMode,
         CompressionState,
         DependencyDrivenSimulator,
+        check_relaxed_contract,
         scaled_config,
     )
     from repro.workloads.snapshots import SnapshotConfig
@@ -141,41 +150,64 @@ def test_fig11_engine_speedup(benchmark):
 
     def run():
         # Alternate engines over three passes, so a noisy neighbour
-        # cannot skew either side.  Pass 0 of the vectorized engine is
-        # cold: it performs the whole column resolution.
-        legacy_times, vector_times = [], []
+        # cannot skew any side.  Pass 0 of the vectorized engine is
+        # fully cold (whole column resolution); pass 0 of the relaxed
+        # engine records its tapes over the columns vectorized just
+        # warmed.
+        times = {"legacy": [], "vectorized": [], "relaxed": []}
+        results = {}
         for _ in range(3):
-            seconds, legacy_results = sweep("legacy")
-            legacy_times.append(seconds)
-            seconds, vector_results = sweep("vectorized")
-            vector_times.append(seconds)
-        return legacy_times, vector_times, legacy_results, vector_results
+            for engine in ("legacy", "vectorized", "relaxed"):
+                seconds, engine_results = sweep(engine)
+                times[engine].append(seconds)
+                results[engine] = engine_results
+        return times, results
 
-    legacy_times, vector_times, legacy_results, vector_results = (
-        benchmark.pedantic(run, rounds=1, iterations=1)
-    )
-    speedup = min(legacy_times) / vector_times[0]  # cold: incl. resolution
-    warm = min(legacy_times) / min(vector_times)
+    times, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    legacy_best = min(times["legacy"])
+    vector_cold = legacy_best / times["vectorized"][0]
+    vector_warm = legacy_best / min(times["vectorized"])
+    relaxed_cold = legacy_best / times["relaxed"][0]
+    relaxed_warm = legacy_best / min(times["relaxed"])
     print()
     print(
-        f"fig11 grid ({len(legacy_results)} sims): "
-        f"legacy {min(legacy_times):.2f}s, "
-        f"vectorized cold {vector_times[0]:.2f}s / "
-        f"warm {min(vector_times):.2f}s -> "
-        f"{speedup:.2f}x cold, {warm:.2f}x warm"
+        f"fig11 grid ({len(results['legacy'])} sims): "
+        f"legacy {legacy_best:.2f}s, "
+        f"vectorized cold {times['vectorized'][0]:.2f}s / "
+        f"warm {min(times['vectorized']):.2f}s -> "
+        f"{vector_cold:.2f}x cold, {vector_warm:.2f}x warm, "
+        f"relaxed cold {times['relaxed'][0]:.2f}s / "
+        f"warm {min(times['relaxed']):.2f}s -> "
+        f"{relaxed_cold:.2f}x cold, {relaxed_warm:.2f}x warm"
     )
 
-    # The equivalence contract holds at every grid point...
-    for legacy_result, vector_result in zip(legacy_results, vector_results):
+    # The equivalence contracts hold at every grid point: vectorized
+    # is bit-identical to the oracle, relaxed is bit-identical at the
+    # reference interconnect and tolerance-pinned elsewhere.
+    points = [
+        machine for _, states in grid for machine, _ in states
+    ]
+    for machine, legacy_result, vector_result, relaxed_result in zip(
+        points, results["legacy"], results["vectorized"], results["relaxed"]
+    ):
         assert legacy_result.cycles == vector_result.cycles
         assert legacy_result.dram_bytes == vector_result.dram_bytes
         assert legacy_result.link_bytes == vector_result.link_bytes
         assert legacy_result.buddy_fills == vector_result.buddy_fills
         assert legacy_result.demand_fills == vector_result.demand_fills
-    # ... and the vectorized engine is decisively faster.  Measured
-    # ~2-2.5x cold and ~2.5-3x warm on the development machine (the
-    # exact-order event core bounds the gain; see README "Simulator
-    # architecture"); the assertions use conservative floors to stay
-    # robust on shared CI runners.
-    assert speedup >= 1.5
-    assert warm >= 2.0
+        check_relaxed_contract(
+            relaxed_result,
+            legacy_result,
+            exact=machine.link.bandwidth_gbps == REFERENCE_LINK_GBPS,
+        )
+    # Speedup floors.  Vectorized: measured ~2-2.5x cold and ~2.5-3x
+    # warm on the development machine (the exact-order event core
+    # bounds the gain; see README "Simulator architecture").
+    # Relaxed: measured ~3x cold and ~15-20x warm (one recording per
+    # state, replay-only link points); the >=5x floor is the ROADMAP
+    # target the exact-order engines could not reach.  Conservative
+    # floors keep the assertions robust on shared CI runners.
+    assert vector_cold >= 1.5
+    assert vector_warm >= 2.0
+    assert relaxed_cold >= 1.2
+    assert relaxed_warm >= 5.0

@@ -75,11 +75,14 @@ def correlation_point(
     sm_count: int = 4,
     warps_per_sm: int = 6,
     engine: str = "vectorized",
+    verify: float = 0.0,
 ) -> CorrelationPoint:
     """Both simulators on one (benchmark, trace length) design point.
 
     Cycle counts are deterministic (and identical across the fast
-    simulator's engines); the wall-clock fields are measured fresh on
+    simulator's engines — the correlation points run IDEAL-mode
+    traces without host traffic, where even the relaxed engine is
+    provably exact); the wall-clock fields are measured fresh on
     every execution (a cached point keeps the timings of the run that
     produced it).
     """
@@ -94,7 +97,7 @@ def correlation_point(
     state = CompressionState.ideal(trace.footprint_bytes)
 
     start = time.perf_counter()
-    fast = DependencyDrivenSimulator(config, engine).run(trace, state)
+    fast = DependencyDrivenSimulator(config, engine, verify).run(trace, state)
     fast_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -116,8 +119,13 @@ def run_correlation_study(
     instruction_scales=(6, 18),
     runner=None,
     engine: str = "vectorized",
+    verify: float = 0.0,
 ) -> CorrelationResult:
-    """Run both simulators across benchmarks and trace lengths."""
+    """Run both simulators across benchmarks and trace lengths.
+
+    ``verify`` is the relaxed engine's sampled oracle cross-check
+    (0.0 for the exact engines).
+    """
     from repro.engine.runner import ExperimentRunner
 
     runner = runner or ExperimentRunner()
@@ -127,5 +135,6 @@ def run_correlation_study(
             "benchmarks": tuple(benchmarks),
             "instruction_scales": tuple(instruction_scales),
             "engine": engine,
+            "verify": verify,
         },
     )

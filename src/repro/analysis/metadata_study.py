@@ -13,9 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.metadata_cache import MetadataCache
 from repro.gpusim.trace import Op
-from repro.units import KIB
+from repro.units import KIB, MEMORY_ENTRY_BYTES
 from repro.workloads.snapshots import SnapshotConfig
 from repro.workloads.traces import TraceConfig, generate_trace
 
@@ -30,20 +32,31 @@ class MetadataStudyRow:
 
 
 def metadata_access_stream(benchmark: str, config: TraceConfig) -> list[int]:
-    """Per-access metadata entry indices, in interleaved warp order."""
+    """Per-access metadata entry indices, in interleaved warp order.
+
+    Derived straight from the trace's columnar representation: memory
+    rows are ranked by their position *within* their warp's memory
+    stream, then by warp age, which is exactly the historical
+    round-robin interleaving across per-warp streams — without ever
+    materialising the per-warp tuple lists.
+    """
     trace = generate_trace(benchmark, config)
-    streams = [
-        [instr[1] // 128 for instr in warp.instructions if instr[0] != Op.COMPUTE]
-        for warp in trace.warps
-    ]
-    # Round-robin across warps approximates the issue interleaving.
-    interleaved: list[int] = []
-    depth = max(len(s) for s in streams)
-    for index in range(depth):
-        for stream in streams:
-            if index < len(stream):
-                interleaved.append(stream[index])
-    return interleaved
+    col = trace.columnar()
+    memory_rows = np.flatnonzero(col.ops != int(Op.COMPUTE))
+    if memory_rows.size == 0:
+        return []
+    entries = col.a[memory_rows] // MEMORY_ENTRY_BYTES
+    # Each memory row's warp, and its rank inside that warp's stream.
+    starts = col.warp_starts
+    row_warp = np.searchsorted(starts, memory_rows, side="right") - 1
+    memory_before = np.concatenate(
+        ([0], np.cumsum(col.ops != int(Op.COMPUTE)))
+    )[starts[:-1]]
+    position = np.arange(memory_rows.size) - memory_before[row_warp]
+    # Round-robin across warps approximates the issue interleaving:
+    # position-major, warp-age-minor.
+    order = np.lexsort((row_warp, position))
+    return entries[order].tolist()
 
 
 def metadata_row(

@@ -22,6 +22,7 @@ from repro.core.targets import FINAL
 from repro.gpusim.compression import CompressionMode, CompressionState
 from repro.gpusim.config import GPUConfig, scaled_config
 from repro.gpusim.simulator import DependencyDrivenSimulator
+from repro.gpusim.vector_sim import REFERENCE_LINK_GBPS
 from repro.workloads.catalog import get_benchmark
 from repro.workloads.snapshots import SnapshotConfig
 from repro.workloads.traces import TraceConfig, generate_trace, layout_state
@@ -75,14 +76,23 @@ def perf_benchmark_row(
     link_sweep=LINK_SWEEP,
     profile_config: SnapshotConfig | None = None,
     engine: str = "vectorized",
+    verify: float = 0.0,
 ) -> BenchmarkPerf:
     """One benchmark's full Fig. 11 series (the engine's point unit).
 
-    ``engine`` selects the simulator core ("vectorized" by default;
-    "legacy" runs the per-access oracle).  The two are equivalence-
-    pinned, so the choice only affects wall-clock: the vectorized
-    engine resolves its accesses once per (trace, state) and shares
-    the resolution across the whole link sweep.
+    ``engine`` selects the simulator core: ``"vectorized"`` (default)
+    and ``"legacy"`` are equivalence-pinned, so between those two the
+    choice only affects wall-clock — the vectorized engine resolves
+    its accesses once per (trace, state) and shares the resolution
+    across the whole link sweep.  ``"relaxed"`` additionally freezes
+    the event *order* at the 150 GB/s reference interconnect and
+    replays it across the sweep: exact at 150 GB/s (the row every
+    figure normalises against), tolerance-pinned at the other link
+    points, and by far the fastest on warm sweeps (see
+    ``docs/engines.md``).  ``verify`` is the relaxed engine's escape
+    hatch: the fraction of simulator runs cross-checked against the
+    legacy oracle (a breach raises ``RelaxedVerificationError``); it
+    must stay 0.0 for the exact engines.
     """
     config = config or scaled_config()
     trace_config = trace_config or TraceConfig(
@@ -99,13 +109,13 @@ def perf_benchmark_row(
     layout = layout_state(benchmark, trace_config)
     selection = compressor.select(compressor.profile(benchmark), FINAL)
 
-    ideal = DependencyDrivenSimulator(config, engine).run(
+    ideal = DependencyDrivenSimulator(config, engine, verify).run(
         trace, CompressionState.ideal(trace.footprint_bytes)
     )
     bandwidth_state = CompressionState.from_entry_state(
         layout, selection, CompressionMode.BANDWIDTH
     )
-    bandwidth = DependencyDrivenSimulator(config, engine).run(
+    bandwidth = DependencyDrivenSimulator(config, engine, verify).run(
         trace, bandwidth_state
     )
 
@@ -115,11 +125,13 @@ def perf_benchmark_row(
     buddy = {}
     meta_hit = 0.0
     for link in link_sweep:
-        result = DependencyDrivenSimulator(config.with_link(link), engine).run(
-            trace, buddy_state
-        )
+        result = DependencyDrivenSimulator(
+            config.with_link(link), engine, verify
+        ).run(trace, buddy_state)
         buddy[link] = ideal.cycles / result.cycles
-        if link == 150.0:
+        if link == REFERENCE_LINK_GBPS:
+            # The 150 GB/s row: the paper's normalisation point and
+            # the relaxed engine's reference interconnect.
             meta_hit = result.metadata_hit_rate
 
     return BenchmarkPerf(
@@ -141,6 +153,7 @@ def run_perf_study(
     profile_config: SnapshotConfig | None = None,
     runner=None,
     engine: str = "vectorized",
+    verify: float = 0.0,
 ) -> PerfStudyResult:
     """Run the full Fig. 11 sweep.
 
@@ -154,7 +167,12 @@ def run_perf_study(
             only needs histograms).
         runner: :class:`repro.engine.ExperimentRunner` controlling
             parallelism and caching (default: serial, uncached).
-        engine: Simulator core ("vectorized" default / "legacy").
+        engine: Simulator core ("vectorized" default / "relaxed" /
+            "legacy"); part of every point's cache key, so cached
+            results never mix engines.
+        verify: Fraction of relaxed-engine runs cross-checked against
+            the legacy oracle (``--verify`` on the CLI; 0.0 for the
+            exact engines).
     """
     from repro.engine.runner import default_runner
 
@@ -174,6 +192,7 @@ def run_perf_study(
             "link_sweep": tuple(link_sweep),
             "profile_config": profile_config,
             "engine": engine,
+            "verify": verify,
         },
     )
 

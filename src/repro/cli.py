@@ -176,6 +176,26 @@ def _experiment_params(name: str, args) -> dict:
                 "--engine ignored",
                 file=sys.stderr,
             )
+    verify = getattr(args, "verify", None)
+    if verify:
+        if "verify" not in get_experiment(name).defaults():
+            print(
+                f"warning: {name} has no simulator engine axis; "
+                "--verify ignored",
+                file=sys.stderr,
+            )
+        elif engine != "relaxed":
+            # The exact engines have nothing to cross-check; passing
+            # verify through would raise deep inside every design
+            # point, so fail the friendly way the other flags do.
+            print(
+                "warning: --verify is the relaxed engine's oracle "
+                "cross-check; pass --engine relaxed to enable it "
+                "(--verify ignored)",
+                file=sys.stderr,
+            )
+        else:
+            params["verify"] = verify
     scale = getattr(args, "scale", None)
     if scale:
         defaults = get_experiment(name).defaults()
@@ -313,12 +333,26 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=("vectorized", "legacy"),
+        choices=("vectorized", "relaxed", "legacy"),
         default=None,
         help=(
             "simulator core for the timing studies (fig10/fig11): the "
-            "batched vectorized engine (default) or the per-access "
-            "legacy oracle"
+            "batched vectorized engine (default, exact), the relaxed "
+            "frozen-order tape engine (fastest across link sweeps; "
+            "tolerance-pinned off the 150 GB/s reference point), or "
+            "the per-access legacy oracle"
+        ),
+    )
+    parser.add_argument(
+        "--verify",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "with --engine relaxed: fraction of simulator runs "
+            "cross-checked against the legacy oracle (deterministic "
+            "per design point; 1.0 checks every run, raising on any "
+            "contract breach)"
         ),
     )
     parser.add_argument(

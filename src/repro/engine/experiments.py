@@ -17,6 +17,12 @@ Registered experiments::
     um.fig12           UM / pinned oversubscription slowdowns (Fig. 12)
     dl.ratios          per-network buddy compression ratios
     dl.fig13           the four DL case-study panels (Fig. 13)
+
+The two timing studies carry an ``engine`` parameter
+("vectorized" / "relaxed" / "legacy", see docs/engines.md) and a
+``verify`` fraction (the relaxed engine's sampled oracle
+cross-check); both are ordinary cache-key axes, so results produced
+by different simulator cores are addressed separately and never mix.
 """
 
 from __future__ import annotations
@@ -269,6 +275,7 @@ def _fig10_defaults() -> dict:
         "sm_count": 4,
         "warps_per_sm": 6,
         "engine": "vectorized",
+        "verify": 0.0,
     }
 
 
@@ -280,6 +287,7 @@ def _fig10_expand(params: dict) -> list[dict]:
             "sm_count": params["sm_count"],
             "warps_per_sm": params["warps_per_sm"],
             "engine": params["engine"],
+            "verify": params["verify"],
         }
         for name in params["benchmarks"]
         for scale in params["instruction_scales"]
@@ -295,6 +303,7 @@ def _fig10_point(point: dict):
         point["sm_count"],
         point["warps_per_sm"],
         point["engine"],
+        point["verify"],
     )
 
 
@@ -340,6 +349,7 @@ def _fig11_defaults() -> dict:
         "link_sweep": LINK_SWEEP,
         "profile_config": SnapshotConfig(scale=1.0 / 65536),
         "engine": "vectorized",
+        "verify": 0.0,
     }
 
 
@@ -353,6 +363,7 @@ def _fig11_point(point: dict):
         point["link_sweep"],
         point["profile_config"],
         point["engine"],
+        point["verify"],
     )
 
 

@@ -7,6 +7,13 @@ methodology with this deliberately detailed machine: it steps every
 core cycle, walks each SM's warps in greedy-then-oldest order, and
 models the same memory system.  The correlation study then measures
 how faithfully (and how much faster) the fast simulator tracks it.
+
+The machine consumes the :class:`ColumnarTrace` representation
+directly: instruction streams are flat op/operand columns indexed per
+warp through the CSR offsets, so a columnar-native trace (everything
+the generator emits) is simulated without ever materialising the
+legacy per-warp tuple lists.  Only the issue logic reads the columns —
+the memory system is shared with the legacy engine unchanged.
 """
 
 from __future__ import annotations
@@ -21,11 +28,16 @@ from repro.gpusim.trace import KernelTrace, Op
 
 @dataclass
 class _WarpState:
-    """Per-warp microarchitectural state."""
+    """Per-warp microarchitectural state.
 
-    instructions: list
+    ``pc`` indexes the trace's flat instruction columns and runs over
+    ``[start, end)`` — the warp's CSR row range — rather than over a
+    per-warp list.
+    """
+
+    pc: int
+    end: int
     max_outstanding: int
-    pc: int = 0
     busy_until: float = 0.0
     compute_left: int = 0
     last_issue: float = -1.0
@@ -33,7 +45,7 @@ class _WarpState:
 
     @property
     def done(self) -> bool:
-        return self.pc >= len(self.instructions) and self.compute_left == 0
+        return self.pc >= self.end and self.compute_left == 0
 
 
 class CycleSteppedReference:
@@ -48,26 +60,43 @@ class CycleSteppedReference:
         if trace.host_traffic_fraction > 0:
             memory.host_base = trace.footprint_bytes
 
+        # Flat instruction columns (plain lists: the per-cycle loop
+        # below indexes them scalar-wise, where ndarray item access
+        # would dominate).
+        col = trace.columnar()
+        ops = col.ops.tolist()
+        operand_a = col.a.tolist()
+        operand_b = col.b.tolist()
+        starts = col.warp_starts.tolist()
+        warp_sm = col.warp_sm.tolist()
+        warp_mlp = col.warp_mlp.tolist()
+
         # Group warps per SM, preserving age order (GTO = greedy then
         # oldest: keep issuing the same warp until it stalls, then
         # fall back to the oldest ready one).
         sms: list[list[_WarpState]] = [[] for _ in range(config.sm_count)]
-        for warp in trace.warps:
-            sms[warp.sm].append(
-                _WarpState(warp.instructions, warp.max_outstanding)
+        for index in range(col.warp_count):
+            sms[warp_sm[index]].append(
+                _WarpState(starts[index], starts[index + 1], warp_mlp[index])
             )
         greedy: list[int | None] = [None] * config.sm_count
 
         cycle = 0.0
         live = sum(len(s) for s in sms)
         issue_slots = config.schedulers_per_sm
+        compute_code = int(Op.COMPUTE)
+        load_code = int(Op.LOAD)
         while live > 0:
             for sm_index, warps in enumerate(sms):
                 for _ in range(issue_slots):
                     warp = self._pick(warps, greedy, sm_index, cycle)
                     if warp is None:
                         break
-                    if self._issue(warp, sm_index, memory, cycle):
+                    if self._issue(
+                        warp, sm_index, memory, cycle,
+                        ops, operand_a, operand_b,
+                        compute_code, load_code,
+                    ):
                         greedy[sm_index] = warps.index(warp)
                     if warp.done:
                         live -= 1
@@ -108,27 +137,31 @@ class CycleSteppedReference:
                 return warp
         return None
 
-    def _issue(self, warp: _WarpState, sm: int, memory, cycle: float) -> bool:
+    def _issue(
+        self, warp: _WarpState, sm: int, memory, cycle: float,
+        ops, operand_a, operand_b, compute_code, load_code,
+    ) -> bool:
         """Issue one instruction from the warp; returns success."""
         if warp.compute_left > 0:
             warp.compute_left -= 1
             if warp.compute_left == 0:
                 warp.pc += 1
             return True
-        op, a, b = warp.instructions[warp.pc]
-        if op == Op.COMPUTE:
-            warp.compute_left = a - 1
+        pc = warp.pc
+        op = ops[pc]
+        if op == compute_code:
+            warp.compute_left = operand_a[pc] - 1
             if warp.compute_left == 0:
                 warp.pc += 1
             return True
-        if op == Op.LOAD:
-            done = memory.load(sm, a, b, cycle)
+        if op == load_code:
+            done = memory.load(sm, operand_a[pc], operand_b[pc], cycle)
             warp.outstanding = warp.outstanding + (done,)
             if len(warp.outstanding) >= warp.max_outstanding:
                 warp.busy_until = warp.outstanding[0]
                 warp.outstanding = warp.outstanding[1:]
             warp.pc += 1
             return True
-        memory.store(sm, a, b, cycle)
+        memory.store(sm, operand_a[pc], operand_b[pc], cycle)
         warp.pc += 1
         return True

@@ -204,32 +204,54 @@ class _MemorySystem:
 
 
 #: Engines selectable on :class:`DependencyDrivenSimulator`.
-ENGINES = ("vectorized", "legacy")
+ENGINES = ("vectorized", "relaxed", "legacy")
 
 
 class DependencyDrivenSimulator:
     """The fast simulator (Fig. 10's subject; Fig. 11's instrument).
 
-    Two interchangeable engines implement the same machine:
+    Three interchangeable engines implement the same machine (the
+    full three-way contract is documented in ``docs/engines.md``):
 
     * ``"vectorized"`` (default) — the batched-event core in
       :mod:`repro.gpusim.vector_sim`: per-access quantities resolve as
       whole-trace array operations, events advance in the same
-      ``(ready, sequence)`` order over prepared columns.
+      ``(ready, sequence)`` order over prepared columns.  Identical
+      counters and bit-identical cycles to the oracle, everywhere.
+    * ``"relaxed"`` — the frozen-order tape engine
+      (:class:`repro.gpusim.vector_sim.RelaxedSimulator`): traffic is
+      resolved once, in the exact event order of the reference
+      interconnect, and every other link bandwidth replays the frozen
+      tape.  Exact at the reference interconnect; counters and cycles
+      within the pinned tolerances elsewhere.  ``verify`` selects the
+      fraction of runs cross-checked against the legacy oracle
+      (``verify=1.0`` checks every run; the sample is deterministic
+      per design point).
     * ``"legacy"`` — the original per-access engine below, kept as the
       correctness oracle.
 
-    The equivalence contract (identical traffic counters, identical
-    cycles) is pinned by ``tests/test_vector_sim.py``.
+    The equivalence contracts are pinned by ``tests/test_vector_sim.py``
+    and ``tests/test_relaxed_sim.py``.
     """
 
-    def __init__(self, config: GPUConfig, engine: str = "vectorized") -> None:
+    def __init__(
+        self,
+        config: GPUConfig,
+        engine: str = "vectorized",
+        verify: float = 0.0,
+    ) -> None:
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
+        if verify and engine != "relaxed":
+            raise ValueError(
+                "verify= cross-checking is the relaxed engine's escape "
+                f"hatch; engine {engine!r} is already exact"
+            )
         self.config = config
         self.engine = engine
+        self.verify = verify
 
     def run(self, trace: KernelTrace, state: CompressionState) -> SimResult:
         """Simulate a kernel trace under a compression state."""
@@ -237,6 +259,12 @@ class DependencyDrivenSimulator:
             from repro.gpusim.vector_sim import VectorizedSimulator
 
             return VectorizedSimulator(self.config).run(trace, state)
+        if self.engine == "relaxed":
+            from repro.gpusim.vector_sim import RelaxedSimulator
+
+            return RelaxedSimulator(self.config, self.verify).run(
+                trace, state
+            )
         return self._run_legacy(trace, state)
 
     def _run_legacy(

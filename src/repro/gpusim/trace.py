@@ -18,9 +18,12 @@ Traces carry two interchangeable representations of the same streams:
   consumes; per-access quantities are derived from it with whole-array
   operations instead of per-instruction Python work.
 * per-warp ``(op, a, b)`` tuple lists (:class:`WarpTrace`) — the
-  legacy representation the per-access simulator and the cycle-stepped
-  reference walk.  It is materialised lazily from the columns, so a
-  vectorized-only run never builds a single tuple.
+  legacy representation the per-access oracle engine walks.  It is
+  materialised lazily from the columns, so a run confined to the
+  columnar consumers (the vectorized and relaxed engines, the
+  cycle-stepped reference, the metadata study) never builds a single
+  tuple; :data:`tuple_materialisations` counts every decode so tests
+  can pin that property.
 
 Both views decode to identical instruction streams; the equivalence
 tests pin this.
@@ -38,6 +41,13 @@ class Op(enum.IntEnum):
     COMPUTE = 0
     LOAD = 1
     STORE = 2
+
+
+#: Per-process count of columnar-to-tuple decodes.  The columnar
+#: consumers must never bump it; tests pin the counter the same way
+#: ``repro.core.profiler.bulk_compression_call_count`` pins the
+#: one-bulk-call profiling contract.
+tuple_materialisations = 0
 
 
 @dataclass
@@ -126,6 +136,8 @@ class ColumnarTrace:
 
     def materialise_warps(self) -> list[WarpTrace]:
         """Decode the columns back into per-warp tuple lists."""
+        global tuple_materialisations
+        tuple_materialisations += 1
         ops = self.ops.tolist()
         a = self.a.tolist()
         b = self.b.tolist()

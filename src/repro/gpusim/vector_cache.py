@@ -26,6 +26,22 @@ operation sequences and pin hits, misses and evictions.
 :meth:`state_arrays` exports the occupancy as dense
 ``(sets, ways)`` tag / sector-mask / dirty-mask / LRU-stamp arrays
 for inspection and digesting.
+
+Place in the columnar resolution scheme
+---------------------------------------
+
+:meth:`decompose` is the cache's contribution to the vectorized
+engine's build step (:func:`repro.gpusim.vector_sim._geometry_columns`):
+the line id and set index of every access in a trace are computed in
+one whole-array operation and stored in the shared geometry columns.
+Those columns are keyed per ``(trace, machine geometry)`` and shared
+by *every* compression state, because compression changes how many
+bytes an access moves but never which line or set it touches; the
+per-state tables (transfer sizes, service times) are in turn shared
+by every link bandwidth, because the interconnect only scales runtime
+divisions.  At simulation time only the order-dependent residue — the
+per-set dict transitions above — runs per event; everything
+derivable from the address alone was resolved up front, once.
 """
 
 from __future__ import annotations

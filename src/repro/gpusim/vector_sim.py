@@ -38,11 +38,65 @@ integer traffic counters (``dram_bytes``, ``link_bytes``, fills, hit
 counts) and bit-identical cycle counts to the legacy engine, at a
 fraction of the wall-clock (``bench_fig11_performance.py`` pins the
 speedup; ``tests/test_vector_sim.py`` pins the equivalence).
+
+Why the columns are layered the way they are
+--------------------------------------------
+
+The resolution tables deliberately split along reuse boundaries:
+
+* :func:`_geometry_columns` depends only on ``(trace, machine
+  geometry)`` — addresses, sector masks, cache sets, DRAM
+  channel/row/bank coordinates, metadata-line slots.  Every
+  compression state of a trace shares one copy, because compression
+  never moves an access, it only changes how many bytes the access
+  transfers.
+* :func:`_state_columns` adds the per-``CompressionState`` tables —
+  compressed device/buddy transfer sizes and the per-hop service
+  times derived from them.  These are keyed without the interconnect
+  (:func:`_machine_key`): link bandwidth only scales the runtime
+  divisions inside the event core, so one per-state resolution
+  serves the whole Fig. 11 link sweep.
+
+The relaxed engine (below) adds a third layer with the same shape:
+the **event tape** recorded by one exact-order run is keyed per
+``(trace, state, machine geometry)`` and replayed at every link
+bandwidth of the sweep.
+
+The relaxed engine
+------------------
+
+``engine="relaxed"`` (:class:`RelaxedSimulator`) trades exact
+scheduling for wall-clock by *freezing the event order*.  One
+exact-order pass at the canonical reference interconnect
+(:data:`REFERENCE_LINK_GBPS`, the paper's six-brick NVLink2 point that
+Fig. 11 normalises against) records a compact per-event tape — who
+issued, what it hit, which DRAM channel/row service it consumed,
+how many buddy bytes moved.  Every other link bandwidth *replays*
+that tape: the order and all traffic outcomes are frozen, and only
+the timing recurrences (SM issue slots, channel queues, link
+occupancy, warp memory-level parallelism) are recomputed.
+
+The contract this buys (pinned by ``tests/test_relaxed_sim.py``):
+
+* at the reference interconnect the relaxed engine *is* the exact
+  engine — bit-identical counters and cycles;
+* traffic counters are link-invariant by construction, and within
+  :data:`RELAXED_COUNTER_TOLERANCE` of the legacy oracle at every
+  other link (the oracle's own counters drift by a similar margin
+  across the sweep, because scheduling feeds back into cache order);
+* cycles are within :data:`RELAXED_CYCLE_TOLERANCE` everywhere, and
+  *exact* where order is provably immaterial — single-warp traces,
+  traces whose warps share no memory-system resources, and any
+  IDEAL-mode trace without host traffic (no link dependence at all);
+* ``verify=`` cross-checks a deterministic sample of runs against
+  the legacy oracle at full fidelity and raises
+  :class:`RelaxedVerificationError` on a contract violation.
 """
 
 from __future__ import annotations
 
 import gc
+import hashlib
 import weakref
 from dataclasses import replace
 from heapq import heappop, heappushpop
@@ -80,12 +134,42 @@ _POPCOUNT4 = [bin(mask).count("1") for mask in range(16)]
 
 _FULL = (1 << SECTORS_PER_ENTRY) - 1
 
+#: The canonical interconnect the relaxed engine resolves traffic at:
+#: six NVLink2 bricks, the point Fig. 11 normalises against.  Tape
+#: order (and therefore every traffic counter) is frozen at this
+#: bandwidth and shared by the whole link sweep.
+REFERENCE_LINK_GBPS = 150.0
+
+#: Pinned relaxed-engine tolerances.  Off the reference interconnect,
+#: the frozen order deviates from the oracle's link-specific schedule;
+#: the observed drift on the Fig. 10/11 grids is well under these
+#: bounds (see tests/test_relaxed_sim.py, which sweeps the full grid
+#: and asserts the margins).  Counters get a relative bound plus an
+#: absolute floor of :data:`RELAXED_COUNTER_FLOOR_EVENTS` transfer
+#: events: a benchmark with almost no buddy traffic (370.bt moves a
+#: few dozen buddy fills) sees the oracle's *own* counters wander by
+#: a handful of borderline evictions between link points, so a purely
+#: relative bound on a tiny counter would be noise-tight.
+RELAXED_CYCLE_TOLERANCE = 0.01
+RELAXED_COUNTER_TOLERANCE = 0.02
+RELAXED_COUNTER_FLOOR_EVENTS = 16
+
+
+class RelaxedVerificationError(AssertionError):
+    """A relaxed-engine result broke its contract against the oracle."""
+
+
 #: Per-trace column memos.  Values hold their states/configs strongly
 #: (keeping ids valid); entries die with their trace.
 _GEOMETRY_MEMO: "weakref.WeakKeyDictionary[KernelTrace, dict]" = (
     weakref.WeakKeyDictionary()
 )
 _STATE_MEMO: "weakref.WeakKeyDictionary[KernelTrace, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+#: Relaxed-engine tape memo: (state id, machine key, link latency,
+#: link derate) -> (state, tape, reference SimResult).
+_TAPE_MEMO: "weakref.WeakKeyDictionary[KernelTrace, dict]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -312,18 +396,57 @@ def _state_columns(
     return geometry, columns
 
 
+class _Tape:
+    """A frozen exact-order event stream plus its replay constants.
+
+    ``events`` holds one tuple per scheduler pop, in the exact
+    ``(ready, sequence)`` order of the recording run.  Each tuple
+    starts with an event-kind code followed by everything the timing
+    replay needs — warp, home SM, and the *resolved* resource charges
+    (DRAM service incl. row overhead, channel index, metadata
+    outcome, link payload bytes, writeback charges).  Cache and
+    row-buffer outcomes are order-determined, so they are part of the
+    tape, not of the replay.
+    """
+
+    __slots__ = (
+        "events", "warp_mlp", "warp_count", "sm_count", "channels",
+        "fill_tail",
+    )
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+
+#: Tape event kinds (first tuple element).
+_T_COMPUTE = 0      # (k, w, sm, busy)
+_T_LOAD_HIT = 1     # (k, w, sm, latency)
+_T_LOAD_FILL = 2    # (k, w, sm, serv, ch, mmiss, mserv, mch, bnum,
+#                      wbserv, wbch, wbbnum)
+_T_HOST_LOAD = 3    # (k, w, sm, hnum)
+_T_STORE = 4        # (k, w, sm)
+_T_STORE_WB = 5     # (k, w, sm, wbserv, wbch, wbbnum)
+_T_STORE_RMW = 6    # (k, w, sm, serv, ch, mmiss, mserv, mch, bnum,
+#                      wbserv, wbch, wbbnum)
+_T_HOST_STORE = 7   # (k, w, sm, hnum)
+_T_WARP_END = 8     # (k, w)
+
+
 class VectorizedSimulator:
     """The batched-event engine behind ``engine="vectorized"``."""
 
     def __init__(self, config: GPUConfig) -> None:
         self.config = config
 
-    def run(self, trace: KernelTrace, state: CompressionState):
+    def run(self, trace: KernelTrace, state: CompressionState, _tape=None):
         """Simulate a kernel trace under a compression state.
 
         Returns a :class:`repro.gpusim.simulator.SimResult` whose
         traffic counters are identical to the legacy engine's and
         whose cycle count is bit-identical.
+
+        ``_tape`` (internal, used by :class:`RelaxedSimulator`) is a
+        :class:`_Tape` to record the event stream into while running.
         """
         from repro.gpusim.simulator import SimResult
 
@@ -332,6 +455,9 @@ class VectorizedSimulator:
         col = trace.columnar()
         ideal = columns.ideal
         use_meta = columns.use_meta
+        record = _tape is not None
+        if record:
+            tappend = _tape.events.append
 
         # -- machine constants ----------------------------------------
         interval = config.issue_interval
@@ -450,6 +576,8 @@ class VectorizedSimulator:
                             finish = last
                     if ready > finish:
                         finish = ready
+                    if record:
+                        tappend((8, w))
                     event = heappop(heap) if heap else None
                     continue
                 ips[w] = i + 1
@@ -461,6 +589,8 @@ class VectorizedSimulator:
                 if code == 0:  # _COMPUTE
                     next_ready = issue + busy_col[i]
                     sm_free[sm] = next_ready
+                    if record:
+                        tappend((0, w, sm, busy_col[i]))
                 elif code == 1:  # _LOAD
                     sm_free[sm] = issue + interval
                     lid, msk, flat1, s2 = probe_rows[i]
@@ -471,6 +601,8 @@ class VectorizedSimulator:
                         del d1[lid]
                         d1[lid] = e1
                         done = issue + l1_lat
+                        if record:
+                            tappend((1, w, sm, l1_lat))
                     else:
                         l1_misses += 1
                         d2 = l2_masks[s2]
@@ -480,10 +612,16 @@ class VectorizedSimulator:
                             del d2[lid]
                             d2[lid] = e2
                             done = issue + l2_lat
+                            if record:
+                                tappend((1, w, sm, l2_lat))
                         else:
                             l2_misses += 1
                             arrival = issue + l2_lat
                             demand_fills += 1
+                            if record:
+                                r_serv = r_mserv = r_wbserv = 0.0
+                                r_ch = r_mmiss = r_mch = 0
+                                r_bnum = r_wbch = r_wbbnum = 0
                             if use_meta:
                                 (
                                     dev, sh, sm_, ch, rw, bk, fm, bud, bnum,
@@ -507,6 +645,9 @@ class VectorizedSimulator:
                                 dram_bytes += dev
                                 dram_requests += 1
                                 done = end + dram_lat
+                                if record:
+                                    r_serv = serv
+                                    r_ch = ch
                             else:
                                 done = arrival
                             if use_meta:
@@ -539,6 +680,10 @@ class VectorizedSimulator:
                                     meta_ready = end + dram_lat
                                     if meta_ready > done:
                                         done = meta_ready
+                                    if record:
+                                        r_mmiss = 1
+                                        r_mserv = serv
+                                        r_mch = mc
                                 if bud:
                                     start = (
                                         link_read_free
@@ -552,6 +697,8 @@ class VectorizedSimulator:
                                     t = end + link_lat
                                     if t > done:
                                         done = t
+                                    if record:
+                                        r_bnum = bnum
                             # Install (full line for compressed fills).
                             if e2 is not None:
                                 del d2[lid]
@@ -589,6 +736,9 @@ class VectorizedSimulator:
                                             next_free[vch] = vstart + serv
                                             dram_bytes += num
                                             dram_requests += 1
+                                            if record:
+                                                r_wbserv = serv
+                                                r_wbch = vch
                                         if use_meta:
                                             vbud = wb_bud[victim % entries]
                                             if vbud:
@@ -606,8 +756,18 @@ class VectorizedSimulator:
                                                     / link_bpc
                                                 )
                                                 link_write_bytes += vbud
+                                                if record:
+                                                    r_wbbnum = wb_bnum[
+                                                        victim % entries
+                                                    ]
                                 d2[lid] = fm
                             done = done + fill_tail
+                            if record:
+                                tappend((
+                                    2, w, sm, r_serv, r_ch, r_mmiss,
+                                    r_mserv, r_mch, r_bnum, r_wbserv,
+                                    r_wbch, r_wbbnum,
+                                ))
                         # L1 fill (never dirty; evictions are silent).
                         if e1 is not None:
                             del d1[lid]
@@ -627,6 +787,11 @@ class VectorizedSimulator:
                 elif code == 2 or code == 5:  # _STORE / _STORE_RMW
                     sm_free[sm] = issue + interval
                     lid, msk, flat1, s2 = probe_rows[i]
+                    if record:
+                        r_fill = 0
+                        r_serv = r_mserv = r_wbserv = 0.0
+                        r_ch = r_mmiss = r_mch = 0
+                        r_bnum = r_wbch = r_wbbnum = 0
                     if code == 5:
                         # Partial store into a compressed entry: every
                         # fourth pays the read-modify-write fetch
@@ -645,6 +810,8 @@ class VectorizedSimulator:
                             else:
                                 l2_misses += 1
                                 demand_fills += 1
+                                if record:
+                                    r_fill = 1
                                 if use_meta:
                                     (
                                         dev, sh, sm_, ch, rw, bk, fm,
@@ -666,6 +833,9 @@ class VectorizedSimulator:
                                     next_free[ch] = start + serv
                                     dram_bytes += dev
                                     dram_requests += 1
+                                    if record:
+                                        r_serv = serv
+                                        r_ch = ch
                                 if use_meta:
                                     meta_ready = issue
                                     mt, ms, mc, mr, mb = meta_rows[i]
@@ -694,6 +864,10 @@ class VectorizedSimulator:
                                         dram_bytes += METADATA_LINE_BYTES
                                         dram_requests += 1
                                         meta_ready = end + dram_lat
+                                        if record:
+                                            r_mmiss = 1
+                                            r_mserv = serv
+                                            r_mch = mc
                                     if bud:
                                         start = (
                                             link_read_free
@@ -705,6 +879,8 @@ class VectorizedSimulator:
                                         )
                                         link_read_bytes += bud
                                         buddy_fills += 1
+                                        if record:
+                                            r_bnum = bnum
                                 # Install the whole line.
                                 if e2 is not None:
                                     del d2[lid]
@@ -749,6 +925,9 @@ class VectorizedSimulator:
                                                 )
                                                 dram_bytes += num
                                                 dram_requests += 1
+                                                if record:
+                                                    r_wbserv = serv
+                                                    r_wbch = vch
                                             if use_meta:
                                                 vbud = wb_bud[ventry]
                                                 if vbud:
@@ -766,6 +945,10 @@ class VectorizedSimulator:
                                                     link_write_bytes += (
                                                         vbud
                                                     )
+                                                    if record:
+                                                        r_wbbnum = wb_bnum[
+                                                            ventry
+                                                        ]
                                     d2[lid] = fm
                     d2 = l2_masks[s2]
                     e2 = d2.get(lid)
@@ -805,6 +988,9 @@ class VectorizedSimulator:
                                     next_free[vch] = vstart + serv
                                     dram_bytes += num
                                     dram_requests += 1
+                                    if record:
+                                        r_wbserv = serv
+                                        r_wbch = vch
                                 if use_meta:
                                     vbud = wb_bud[victim % entries]
                                     if vbud:
@@ -819,9 +1005,25 @@ class VectorizedSimulator:
                                             / link_bpc
                                         )
                                         link_write_bytes += vbud
+                                        if record:
+                                            r_wbbnum = wb_bnum[
+                                                victim % entries
+                                            ]
                         d2[lid] = msk
                         l2_dirty[s2][lid] = msk
                     next_ready = issue + interval
+                    if record:
+                        if r_fill:
+                            tappend((
+                                6, w, sm, r_serv, r_ch, r_mmiss, r_mserv,
+                                r_mch, r_bnum, r_wbserv, r_wbch, r_wbbnum,
+                            ))
+                        elif r_wbserv or r_wbbnum:
+                            tappend((
+                                5, w, sm, r_wbserv, r_wbch, r_wbbnum,
+                            ))
+                        else:
+                            tappend((4, w, sm))
                 elif code == 3:  # _HOST_LOAD
                     sm_free[sm] = issue + interval
                     hbytes, hnum = host_rows[i]
@@ -832,6 +1034,8 @@ class VectorizedSimulator:
                     link_read_free = end
                     link_read_bytes += hbytes
                     done = end + link_lat
+                    if record:
+                        tappend((3, w, sm, hnum))
                     out = outstanding[w]
                     out.append(done)
                     head = out_heads[w]
@@ -849,6 +1053,8 @@ class VectorizedSimulator:
                     link_write_free = start + hnum / link_bpc
                     link_write_bytes += hbytes
                     next_ready = issue + interval
+                    if record:
+                        tappend((7, w, sm, hnum))
 
                 sequence += 1
                 continuation = (next_ready, sequence, w)
@@ -864,6 +1070,13 @@ class VectorizedSimulator:
         finally:
             if gc_was_enabled:
                 gc.enable()
+
+        if record:
+            _tape.warp_mlp = warp_mlp
+            _tape.warp_count = warp_count
+            _tape.sm_count = config.sm_count
+            _tape.channels = channels
+            _tape.fill_tail = fill_tail
 
         # -- drain + result -------------------------------------------
         cycles = max(
@@ -889,3 +1102,423 @@ class VectorizedSimulator:
             buddy_fills=buddy_fills,
             demand_fills=demand_fills,
         )
+
+
+# ---------------------------------------------------------------------------
+# The relaxed-order engine: frozen-order tape replay across the link
+# sweep.
+# ---------------------------------------------------------------------------
+def _resolve_tape(
+    trace: KernelTrace,
+    state: CompressionState,
+    config,
+    need_tape: bool,
+):
+    """The memoised (tape, reference result) for a design point.
+
+    Recording runs the exact engine once at the reference interconnect
+    (:data:`REFERENCE_LINK_GBPS`); the tape and the reference
+    :class:`SimResult` are shared by every link bandwidth of the same
+    ``(trace, state, machine geometry)``.
+
+    Recording is lazy: a point only ever simulated *at* the reference
+    interconnect (``need_tape=False``) runs the plain exact engine and
+    memoises just the result, so reference-only relaxed runs cost the
+    same as vectorized ones and hold no tape.  The first off-reference
+    request upgrades the memo by re-running with recording on (the
+    rerun is deterministic, so the reference result is unchanged).
+    """
+    link = config.link
+    key = (id(state), _machine_key(config), link.latency_cycles, link.derate)
+    per_trace = _TAPE_MEMO.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _TAPE_MEMO[trace] = per_trace
+    hit = per_trace.get(key)
+    if hit is not None and hit[0] is state and (
+        hit[1] is not None or not need_tape
+    ):
+        return hit[1], hit[2]
+    if link.bandwidth_gbps == REFERENCE_LINK_GBPS:
+        ref_config = config
+    else:
+        ref_config = replace(
+            config, link=replace(link, bandwidth_gbps=REFERENCE_LINK_GBPS)
+        )
+    tape = _Tape() if need_tape else None
+    reference = VectorizedSimulator(ref_config).run(trace, state, _tape=tape)
+    per_trace[key] = (state, tape, reference)
+    return tape, reference
+
+
+def _replay_tape(tape: _Tape, config) -> float:
+    """Recompute end-to-end cycles along a frozen event tape.
+
+    Every traffic outcome (hits, fills, row-buffer state, victim
+    choices) is baked into the tape; only the timing recurrences — SM
+    issue slots, DRAM channel queues, the two link directions and each
+    warp's memory-level-parallelism window — are recomputed with the
+    requested interconnect.  At the recording interconnect this
+    reproduces the exact engine's cycle count bit for bit (the replay
+    uses the same float operations in the same order).
+    """
+    interval = config.issue_interval
+    dram_lat = config.dram_latency
+    arrival_lat = config.l2_latency
+    link_bpc = config.link.bytes_per_cycle(config.clock_hz)
+    link_lat = config.link.latency_cycles
+    fill_tail = tape.fill_tail
+
+    next_free = [0.0] * tape.channels
+    sm_free = [0.0] * tape.sm_count
+    link_read_free = 0.0
+    link_write_free = 0.0
+    warp_count = tape.warp_count
+    warp_mlp = tape.warp_mlp
+    ready = [0.0] * warp_count
+    outstanding: list[list] = [[] for _ in range(warp_count)]
+    out_heads = [0] * warp_count
+    finish = 0.0
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for row in tape.events:
+            kind = row[0]
+            if kind == 0:  # compute
+                _, w, sm, busy = row
+                r = ready[w]
+                free = sm_free[sm]
+                issue = r if r > free else free
+                t = issue + busy
+                sm_free[sm] = t
+                ready[w] = t
+            elif kind == 1:  # load, cache hit
+                _, w, sm, lat = row
+                r = ready[w]
+                free = sm_free[sm]
+                issue = r if r > free else free
+                sm_free[sm] = issue + interval
+                done = issue + lat
+                out = outstanding[w]
+                out.append(done)
+                head = out_heads[w]
+                if len(out) - head >= warp_mlp[w]:
+                    ready[w] = out[head]
+                    out_heads[w] = head + 1
+                else:
+                    ready[w] = issue + interval
+            elif kind == 2:  # load, demand fill
+                (
+                    _, w, sm, serv, ch, mmiss, mserv, mch, bnum,
+                    wbserv, wbch, wbbnum,
+                ) = row
+                r = ready[w]
+                free = sm_free[sm]
+                issue = r if r > free else free
+                sm_free[sm] = issue + interval
+                arrival = issue + arrival_lat
+                if serv:
+                    free = next_free[ch]
+                    start = free if free > arrival else arrival
+                    end = start + serv
+                    next_free[ch] = end
+                    done = end + dram_lat
+                else:
+                    done = arrival
+                meta_ready = arrival
+                if mmiss:
+                    free = next_free[mch]
+                    start = free if free > arrival else arrival
+                    end = start + mserv
+                    next_free[mch] = end
+                    meta_ready = end + dram_lat
+                    if meta_ready > done:
+                        done = meta_ready
+                if bnum:
+                    start = (
+                        link_read_free
+                        if link_read_free > meta_ready
+                        else meta_ready
+                    )
+                    end = start + bnum / link_bpc
+                    link_read_free = end
+                    t = end + link_lat
+                    if t > done:
+                        done = t
+                if wbserv:
+                    free = next_free[wbch]
+                    start = free if free > arrival else arrival
+                    next_free[wbch] = start + wbserv
+                if wbbnum:
+                    start = (
+                        link_write_free
+                        if link_write_free > arrival
+                        else arrival
+                    )
+                    link_write_free = start + wbbnum / link_bpc
+                done = done + fill_tail
+                out = outstanding[w]
+                out.append(done)
+                head = out_heads[w]
+                if len(out) - head >= warp_mlp[w]:
+                    ready[w] = out[head]
+                    out_heads[w] = head + 1
+                else:
+                    ready[w] = issue + interval
+            elif kind == 4:  # store, no memory-system timing
+                _, w, sm = row
+                r = ready[w]
+                free = sm_free[sm]
+                issue = r if r > free else free
+                sm_free[sm] = issue + interval
+                ready[w] = issue + interval
+            elif kind == 5:  # store with dirty-eviction writeback
+                _, w, sm, wbserv, wbch, wbbnum = row
+                r = ready[w]
+                free = sm_free[sm]
+                issue = r if r > free else free
+                sm_free[sm] = issue + interval
+                if wbserv:
+                    free = next_free[wbch]
+                    start = free if free > issue else issue
+                    next_free[wbch] = start + wbserv
+                if wbbnum:
+                    start = (
+                        link_write_free
+                        if link_write_free > issue
+                        else issue
+                    )
+                    link_write_free = start + wbbnum / link_bpc
+                ready[w] = issue + interval
+            elif kind == 6:  # store with read-modify-write fill
+                (
+                    _, w, sm, serv, ch, mmiss, mserv, mch, bnum,
+                    wbserv, wbch, wbbnum,
+                ) = row
+                r = ready[w]
+                free = sm_free[sm]
+                issue = r if r > free else free
+                sm_free[sm] = issue + interval
+                if serv:
+                    free = next_free[ch]
+                    start = free if free > issue else issue
+                    next_free[ch] = start + serv
+                meta_ready = issue
+                if mmiss:
+                    free = next_free[mch]
+                    start = free if free > issue else issue
+                    end = start + mserv
+                    next_free[mch] = end
+                    meta_ready = end + dram_lat
+                if bnum:
+                    start = (
+                        link_read_free
+                        if link_read_free > meta_ready
+                        else meta_ready
+                    )
+                    link_read_free = start + bnum / link_bpc
+                if wbserv:
+                    free = next_free[wbch]
+                    start = free if free > issue else issue
+                    next_free[wbch] = start + wbserv
+                if wbbnum:
+                    start = (
+                        link_write_free
+                        if link_write_free > issue
+                        else issue
+                    )
+                    link_write_free = start + wbbnum / link_bpc
+                ready[w] = issue + interval
+            elif kind == 3:  # host load over the link
+                _, w, sm, hnum = row
+                r = ready[w]
+                free = sm_free[sm]
+                issue = r if r > free else free
+                sm_free[sm] = issue + interval
+                start = (
+                    link_read_free if link_read_free > issue else issue
+                )
+                end = start + hnum / link_bpc
+                link_read_free = end
+                done = end + link_lat
+                out = outstanding[w]
+                out.append(done)
+                head = out_heads[w]
+                if len(out) - head >= warp_mlp[w]:
+                    ready[w] = out[head]
+                    out_heads[w] = head + 1
+                else:
+                    ready[w] = issue + interval
+            elif kind == 7:  # host store over the link
+                _, w, sm, hnum = row
+                r = ready[w]
+                free = sm_free[sm]
+                issue = r if r > free else free
+                sm_free[sm] = issue + interval
+                start = (
+                    link_write_free if link_write_free > issue else issue
+                )
+                link_write_free = start + hnum / link_bpc
+                ready[w] = issue + interval
+            else:  # warp end
+                w = row[1]
+                out = outstanding[w]
+                head = out_heads[w]
+                if len(out) > head:
+                    last = max(out[head:])
+                    if last > finish:
+                        finish = last
+                r = ready[w]
+                if r > finish:
+                    finish = r
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    return max(
+        finish,
+        max(next_free),
+        link_read_free,
+        link_write_free,
+        max(sm_free),
+    )
+
+
+#: Counters the relaxed contract compares against the oracle, with
+#: the byte quantum of one event (a whole-entry transfer plus link
+#: overhead for the byte counters; a single event for the fills).
+_CONTRACT_COUNTERS = (
+    ("dram_bytes", MEMORY_ENTRY_BYTES + TRANSACTION_OVERHEAD_BYTES),
+    ("link_bytes", MEMORY_ENTRY_BYTES + TRANSACTION_OVERHEAD_BYTES),
+    ("buddy_fills", 1),
+    ("demand_fills", 1),
+)
+_CONTRACT_RATES = ("l1_hit_rate", "l2_hit_rate", "metadata_hit_rate")
+
+
+def check_relaxed_contract(relaxed, oracle, exact: bool) -> None:
+    """Assert a relaxed result against the legacy oracle's.
+
+    ``exact`` (reference interconnect, single-warp traces, provably
+    non-contending traces) demands bit-identical results; otherwise
+    counters must sit within :data:`RELAXED_COUNTER_TOLERANCE`
+    relative — with an absolute floor of
+    :data:`RELAXED_COUNTER_FLOOR_EVENTS` transfer events, the scale
+    of the oracle's own link-to-link ordering noise — and cycles
+    within :data:`RELAXED_CYCLE_TOLERANCE`.  Raises
+    :class:`RelaxedVerificationError` on the first violation.
+    """
+    if exact:
+        for field in (
+            ("benchmark", "mode", "cycles", "instructions")
+            + tuple(name for name, _ in _CONTRACT_COUNTERS)
+            + _CONTRACT_RATES
+        ):
+            got = getattr(relaxed, field)
+            want = getattr(oracle, field)
+            if got != want:
+                raise RelaxedVerificationError(
+                    f"relaxed engine diverged from the oracle on "
+                    f"{field}: {got!r} != {want!r} (exact point)"
+                )
+        return
+    if (relaxed.benchmark, relaxed.mode, relaxed.instructions) != (
+        oracle.benchmark, oracle.mode, oracle.instructions
+    ):
+        raise RelaxedVerificationError(
+            "relaxed engine simulated a different design point than "
+            f"the oracle: {relaxed!r} vs {oracle!r}"
+        )
+    deviation = abs(relaxed.cycles - oracle.cycles) / oracle.cycles
+    if deviation > RELAXED_CYCLE_TOLERANCE:
+        raise RelaxedVerificationError(
+            f"relaxed cycles {relaxed.cycles} deviate from oracle "
+            f"{oracle.cycles} by {deviation:.2%} "
+            f"(> {RELAXED_CYCLE_TOLERANCE:.2%})"
+        )
+    for field, quantum in _CONTRACT_COUNTERS:
+        got = getattr(relaxed, field)
+        want = getattr(oracle, field)
+        slack = max(
+            RELAXED_COUNTER_FLOOR_EVENTS * quantum,
+            RELAXED_COUNTER_TOLERANCE * want,
+        )
+        if abs(got - want) > slack:
+            raise RelaxedVerificationError(
+                f"relaxed {field} {got} deviates from oracle {want} "
+                f"by more than {RELAXED_COUNTER_TOLERANCE:.2%} "
+                f"(+{RELAXED_COUNTER_FLOOR_EVENTS}-event floor)"
+            )
+    for field in _CONTRACT_RATES:
+        got = getattr(relaxed, field)
+        want = getattr(oracle, field)
+        if abs(got - want) > RELAXED_COUNTER_TOLERANCE:
+            raise RelaxedVerificationError(
+                f"relaxed {field} {got:.4f} deviates from oracle "
+                f"{want:.4f} by more than "
+                f"{RELAXED_COUNTER_TOLERANCE:.2%} absolute"
+            )
+
+
+def _verify_selected(trace, state, config, fraction: float) -> bool:
+    """Deterministic sampling for the ``verify=`` escape hatch.
+
+    The decision hashes the design point's stable identity (not object
+    ids), so a given point is either always or never cross-checked for
+    a given fraction — reruns and parallel workers agree.
+    """
+    if fraction >= 1.0:
+        return True
+    key = (
+        trace.benchmark,
+        trace.instruction_count,
+        state.mode.value,
+        int(state.entries),
+        config.link.bandwidth_gbps,
+        config.sm_count,
+        config.warps_per_sm,
+    )
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64 < fraction
+
+
+class RelaxedSimulator:
+    """The relaxed-order engine behind ``engine="relaxed"``.
+
+    One exact-order recording at :data:`REFERENCE_LINK_GBPS` per
+    ``(trace, state, machine geometry)``; every other interconnect
+    bandwidth replays the frozen tape.  ``verify`` is the sampled
+    escape hatch: the fraction of runs (deterministically chosen per
+    design point) that are cross-checked against the legacy oracle at
+    full fidelity via :func:`check_relaxed_contract`.
+    """
+
+    def __init__(self, config: GPUConfig, verify: float = 0.0) -> None:
+        self.config = config
+        self.verify = verify
+
+    def run(self, trace: KernelTrace, state: CompressionState):
+        config = self.config
+        at_reference = (
+            config.link.bandwidth_gbps == REFERENCE_LINK_GBPS
+        )
+        tape, reference = _resolve_tape(
+            trace, state, config, need_tape=not at_reference
+        )
+        if at_reference:
+            result = reference
+        else:
+            result = replace(
+                reference, cycles=_replay_tape(tape, config)
+            )
+        if self.verify and _verify_selected(
+            trace, state, config, self.verify
+        ):
+            from repro.gpusim.simulator import DependencyDrivenSimulator
+
+            oracle = DependencyDrivenSimulator(config, "legacy").run(
+                trace, state
+            )
+            check_relaxed_contract(result, oracle, exact=at_reference)
+        return result

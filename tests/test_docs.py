@@ -1,0 +1,35 @@
+"""The docs cannot rot silently: tier-1 wrapper over the CI checker.
+
+`scripts/check_docs.py` verifies that every relative link in README
+and docs/ resolves, that documented `repro run` experiment names are
+registered, and that digests quoted in the docs match the values the
+golden tests pin.  Running it here means a doc-breaking rename fails
+`pytest -x -q` locally, not just the CI docs job.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+CHECKER = (
+    Path(__file__).resolve().parent.parent / "scripts" / "check_docs.py"
+)
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_are_consistent():
+    checker = load_checker()
+    assert checker.run_all_checks() == []
+
+
+def test_required_docs_exist():
+    root = CHECKER.parent.parent
+    assert (root / "docs" / "architecture.md").is_file()
+    assert (root / "docs" / "engines.md").is_file()
