@@ -7,12 +7,12 @@ Compression actually achieves on that network's memory, and projects
 the training-throughput gain of the larger batch (paper Fig. 13c:
 +14 % on average).
 
-The per-network ratios execute through the experiment engine (pass
---workers / --cache-dir / --no-cache), sharing the result cache with
-``repro run dl.ratios`` and ``repro fig13``.
+The per-network ratios execute through the :mod:`repro.api` facade
+(pass --workers / --cache-dir / --no-cache), sharing the result cache
+with ``repro run dl.ratios`` and ``repro fig13``.
 """
 
-from repro.analysis.dl_study import measured_compression_ratios
+import repro
 from repro.dlmodel import buddy_batch_speedups, footprint_bytes
 from repro.dlmodel.casestudy import mean_speedup
 from repro.engine import example_runner
@@ -22,7 +22,7 @@ from repro.units import GIB
 def main() -> None:
     runner = example_runner(description=__doc__)
     print("measuring per-network compression ratios (Fig. 7 pipeline)...")
-    ratios = measured_compression_ratios(runner=runner)
+    ratios = repro.run("dl.ratios", runner=runner).value
     rows = buddy_batch_speedups(ratios)
 
     print(f"\n{'network':14s} {'ratio':>6s} {'batch 12GB':>10s} {'with buddy':>10s} {'speedup':>8s}")

@@ -6,12 +6,13 @@ exceeds device memory, UM's fault-driven migration can collapse
 (Fig. 12), while Buddy Compression — even over a conservative
 50 GB/s interconnect — stays within a small factor of ideal.
 
-The Fig. 12 sweep executes through the experiment engine (pass
+The Fig. 12 sweep executes through the :mod:`repro.api` facade (pass
 --workers / --cache-dir / --no-cache) and shares its result cache
 with ``repro run um.fig12``.
 """
 
-from repro.analysis.um_study import FIG12_BENCHMARKS, fig12_curves
+import repro
+from repro.analysis.um_study import FIG12_BENCHMARKS
 from repro.engine import example_runner
 from repro.gpusim import (
     CompressionMode,
@@ -48,7 +49,7 @@ def main() -> None:
     runner = example_runner(description=__doc__)
     print("Unified Memory under forced oversubscription (Fig. 12):")
     print(f"{'benchmark':12s} {'oversub':>8s} {'UM':>8s} {'pinned':>8s}")
-    for row in fig12_curves(runner=runner):
+    for row in repro.run("um.fig12", runner=runner).value:
         print(
             f"{row.benchmark:12s} {row.oversubscription:8.0%} "
             f"{row.um_slowdown:7.1f}x {row.pinned_slowdown:7.1f}x"

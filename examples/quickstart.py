@@ -8,11 +8,13 @@ compression ratio and buddy-memory traffic on the reference run — and
 finally places the allocations into a modelled 12 GB GPU with its 3x
 buddy carve-out.
 
-The pipeline executes through the experiment engine (pass --workers /
---cache-dir / --no-cache), so repeated runs are served from the same
-shared result cache as ``repro run`` and ``repro sweep``.
+The pipeline executes through the :mod:`repro.api` facade (pass
+--workers / --cache-dir / --no-cache), so repeated runs are served
+from the same shared result cache as ``repro run`` and
+``repro sweep``.
 """
 
+import repro
 from repro.core import BuddyCompressor, BuddyConfig
 from repro.core.targets import FINAL, NAIVE
 from repro.engine import example_runner
@@ -26,15 +28,16 @@ def main() -> None:
     benchmark = "VGG16"
 
     print(f"== Buddy Compression on {benchmark} ==")
-    study = runner.run(
+    outcome = repro.run(
         "compression.fig7",
         {
             "benchmarks": (benchmark,),
             "config": config,
             "designs": (NAIVE, FINAL),
         },
+        runner=runner,
     )
-    results = study.results[benchmark]
+    results = outcome.value.results[benchmark]
     print(f"profiled {len(results[FINAL.name].selection)} allocations")
 
     for design in (NAIVE, FINAL):
@@ -54,6 +57,8 @@ def main() -> None:
     print(f"  device used: {bytes_to_human(allocator.device_used)}")
     print(f"  carve-out used: {bytes_to_human(allocator.buddy_used)}")
     print(f"  effective capacity: {allocator.effective_capacity_ratio():.2f}x")
+    print(f"\n{outcome.report.summary()}")
+    print(f"result digest: {outcome.digest}")
 
 
 if __name__ == "__main__":

@@ -8,34 +8,46 @@ settles on 30 %. This example sweeps the threshold for one HPC and
 one DL workload and prints the trade-off, including the best
 achievable (unconstrained) compression for reference.
 
-The whole sweep profiles each benchmark once: selections for every
-threshold reduce over one columnar profile and are evaluated as a
-batch. It runs through the experiment engine (pass --workers /
---cache-dir / --no-cache) and shares its result cache with
-``repro run`` / ``repro sweep``.
+The whole request runs as ONE planned sweep through the
+:mod:`repro.api` facade: the planner dedupes each benchmark's
+snapshots and profile tensors across the threshold sweep (Fig. 9) and
+the best-achievable reference (Fig. 3), merging the profile builds
+into bulk compression calls.  Pass --workers / --cache-dir /
+--no-cache; the result cache is shared with ``repro run`` /
+``repro sweep``.
 """
 
-from repro.analysis.compression_study import (
-    best_achievable_ratio,
-    fig9_threshold_sweep,
-)
+import repro
 from repro.engine import example_runner
 from repro.workloads.snapshots import SnapshotConfig
 
 THRESHOLDS = (0.05, 0.10, 0.20, 0.30, 0.40, 0.60)
+BENCHMARKS = ("FF_HPGMG", "AlexNet")
 
 
 def main() -> None:
     runner = example_runner(description=__doc__)
     config = SnapshotConfig(scale=1.0 / 65536)
-    sweep = fig9_threshold_sweep(
-        benchmarks=("FF_HPGMG", "AlexNet"),
-        thresholds=THRESHOLDS,
-        config=config,
-        runner=runner,
-    )
+    requests = [
+        (
+            "compression.fig9",
+            {
+                "benchmarks": BENCHMARKS,
+                "thresholds": THRESHOLDS,
+                "config": config,
+            },
+        ),
+        ("compression.fig3", {"benchmarks": BENCHMARKS, "config": config}),
+    ]
+    print(repro.plan(requests, runner=runner).describe())
+    results = repro.sweep(requests, runner=runner)
+    sweep = results["compression.fig9"].value
+    best_rows = {
+        row.benchmark: row.mean_ratio
+        for row in results["compression.fig3"].value
+    }
     for name, runs in sweep.items():
-        best = best_achievable_ratio(name, config, runner=runner)
+        best = best_rows[name]
         print(f"\n== {name} (best achievable {best:.2f}x) ==")
         print(f"{'threshold':>10s} {'ratio':>7s} {'buddy accesses':>15s}")
         for threshold in THRESHOLDS:
@@ -50,6 +62,7 @@ def main() -> None:
         "\nAlexNet trades traffic for ratio smoothly — which is why the"
         "\npaper fixes the threshold at 30%."
     )
+    print(f"\n{results.execution.summary()}")
 
 
 if __name__ == "__main__":

@@ -24,10 +24,19 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Markdown files whose relative links must resolve.
-DOC_FILES = ("README.md", "docs/architecture.md", "docs/engines.md")
+DOC_FILES = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/engines.md",
+    "docs/planner.md",
+)
 
 #: Links README must carry (the docs' front doors).
-REQUIRED_README_LINKS = ("docs/architecture.md", "docs/engines.md")
+REQUIRED_README_LINKS = (
+    "docs/architecture.md",
+    "docs/engines.md",
+    "docs/planner.md",
+)
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
 _RUN_NAME = re.compile(r"repro run ([a-z_]+\.[a-z0-9_]+)")

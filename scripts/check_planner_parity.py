@@ -1,0 +1,103 @@
+"""Planned-sweep parity check (CI `planner` job).
+
+Runs the same requests twice — once as one planned sweep
+(`ExperimentRunner.run_sweep`, i.e. plan → dedupe/merge → execute)
+and once as independent per-experiment `run()` calls — and enforces
+the planner's two load-bearing guarantees:
+
+* **bit-identity** — both paths produce the same `result_digest` for
+  every request;
+* **strictly fewer bulk calls** — the cold planned execution issues
+  exactly `PlanStats.planned_bulk_calls` stacked `compressed_sizes`
+  calls, strictly below the per-benchmark `unplanned_bulk_calls`,
+  and generates each shared artifact at most once.
+
+The planned sweep runs FIRST so its stage-0 counters are measured
+cold (the unplanned pass then rides the warmed in-process memos —
+which is fine: only its digests matter).
+
+Run directly (`python scripts/check_planner_parity.py`); exits
+non-zero on the first violation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import ExperimentRunner, result_digest  # noqa: E402
+from repro.engine.planner import execute_plan, plan  # noqa: E402
+from repro.workloads.snapshots import SnapshotConfig  # noqa: E402
+
+#: The CI smoke scale (1/32768) over a mixed HPC/DL subset.
+CONFIG = SnapshotConfig(scale=1.0 / 32768)
+BENCHMARKS = ("354.cg", "FF_HPGMG", "AlexNet", "VGG16")
+REQUESTS = [
+    ("compression.fig7", {"benchmarks": BENCHMARKS, "config": CONFIG}),
+    (
+        "compression.fig9",
+        {
+            "benchmarks": BENCHMARKS,
+            "thresholds": (0.10, 0.30),
+            "config": CONFIG,
+        },
+    ),
+]
+
+
+def main() -> int:
+    errors: list[str] = []
+
+    runner = ExperimentRunner()
+    sweep_plan = plan(REQUESTS, runner)
+    stats = sweep_plan.stats()
+    print(sweep_plan.describe())
+
+    result = execute_plan(sweep_plan, runner)
+    execution = result.execution
+    print(execution.summary())
+    planned = [result_digest(value) for value in result.values]
+
+    unplanned = [
+        result_digest(ExperimentRunner().run(name, params))
+        for name, params in REQUESTS
+    ]
+
+    for (name, _), got, want in zip(REQUESTS, planned, unplanned):
+        status = "OK" if got == want else "MISMATCH"
+        print(f"  [{name}] planned {got} vs unplanned {want}: {status}")
+        if got != want:
+            errors.append(f"{name}: planned digest {got} != unplanned {want}")
+
+    if not stats.planned_bulk_calls < stats.unplanned_bulk_calls:
+        errors.append(
+            f"no merge win: planned {stats.planned_bulk_calls} bulk call(s) "
+            f"vs unplanned {stats.unplanned_bulk_calls}"
+        )
+    if execution.bulk_compression_calls != stats.planned_bulk_calls:
+        errors.append(
+            f"cold execution issued {execution.bulk_compression_calls} bulk "
+            f"call(s); the plan promised {stats.planned_bulk_calls}"
+        )
+    if execution.max_generations_per_artifact > 1:
+        errors.append(
+            "a shared artifact was generated "
+            f"{execution.max_generations_per_artifact} times (expected <= 1)"
+        )
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        print(
+            f"planner parity OK: {len(planned)} digest(s) identical, "
+            f"{stats.planned_bulk_calls} vs {stats.unplanned_bulk_calls} "
+            "bulk call(s)"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,8 +15,27 @@ Quickstart::
     engine = BuddyCompressor(BuddyConfig())
     result = engine.run("VGG16", FINAL)
     print(result.compression_ratio, result.buddy_access_fraction)
+
+Experiments run through the :mod:`repro.api` facade (cached,
+optionally parallel, mirroring the ``repro`` CLI)::
+
+    import repro
+
+    fig7 = repro.run("compression.fig7").value
+    results = repro.sweep(["compression.fig7", "perf.fig11"])
 """
 
+from repro import api
+from repro.api import (
+    CacheStats,
+    RunResult,
+    SweepResults,
+    cache_stats,
+    plan,
+    report,
+    run,
+    sweep,
+)
 from repro.compression import BPCCompressor
 from repro.core import BuddyCompressor, BuddyConfig, TargetRatio
 from repro.units import MEMORY_ENTRY_BYTES, SECTOR_BYTES, SECTORS_PER_ENTRY
@@ -28,6 +47,15 @@ __all__ = [
     "BuddyCompressor",
     "BuddyConfig",
     "TargetRatio",
+    "CacheStats",
+    "RunResult",
+    "SweepResults",
+    "api",
+    "cache_stats",
+    "plan",
+    "report",
+    "run",
+    "sweep",
     "MEMORY_ENTRY_BYTES",
     "SECTOR_BYTES",
     "SECTORS_PER_ENTRY",

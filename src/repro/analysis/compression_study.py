@@ -88,6 +88,18 @@ def fig3_row(benchmark: str, config: SnapshotConfig | None = None) -> Fig3Row:
     return free_size_study(benchmark, config)[BPCCompressor().name]
 
 
+def fig3_plan(point: dict) -> list:
+    """Fig. 3 dependency graph: the point consumes one snapshot run.
+
+    Free-size ratios compress raw snapshot data (no tensor reduction),
+    so the run is declared for sharing statistics only — there is no
+    shared executable artifact to build ahead of the point.
+    """
+    from repro.engine.planner import SnapshotsSpec
+
+    return [SnapshotsSpec(point["benchmark"], point["config"])]
+
+
 def fig3_compression_ratios(
     benchmarks=None, config: SnapshotConfig | None = None, runner=None
 ) -> list[Fig3Row]:
@@ -171,6 +183,29 @@ def fig7_benchmark(
     names = [design.name for design in designs]
     results = engine.evaluate_many(benchmark, selections, names)
     return dict(zip(names, results))
+
+
+def buddy_pipeline_plan(point: dict) -> list:
+    """Shared dependency graph of one Buddy static-pipeline point.
+
+    Figs. 7, 8 and 9 all run :class:`BuddyCompressor` at the point's
+    snapshot config: one profile-role tensor drives target selection
+    and one reference-role tensor drives ``evaluate_many`` — the two
+    executable nodes every benchmark's points share across all three
+    figures (and, config permitting, across sweeps planned together).
+    """
+    from repro.engine.planner import ProfileTensorSpec, SnapshotsSpec
+
+    benchmark = point["benchmark"]
+    config = point["config"]
+    profile_config = config.as_profile()
+    algorithm = BPCCompressor()
+    return [
+        ProfileTensorSpec(benchmark, profile_config, algorithm),
+        ProfileTensorSpec(benchmark, config, algorithm),
+        SnapshotsSpec(benchmark, profile_config),
+        SnapshotsSpec(benchmark, config),
+    ]
 
 
 def fig7_design_points(

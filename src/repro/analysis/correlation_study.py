@@ -114,27 +114,61 @@ def correlation_point(
     )
 
 
+def fig10_plan(point: dict) -> list:
+    """Shared dependency graph of one Fig. 10 design point.
+
+    Mirrors :func:`correlation_point`'s trace construction exactly:
+    every (benchmark, length) pair shares one per-entry layout, so the
+    planner builds each benchmark's entry-state tensor once for the
+    whole grid.
+    """
+    from repro.engine.planner import EntryStateSpec, TraceSpec
+
+    config = scaled_config(
+        sm_count=point["sm_count"], warps_per_sm=point["warps_per_sm"]
+    )
+    trace_config = TraceConfig(
+        sm_count=config.sm_count,
+        warps_per_sm=config.warps_per_sm,
+        memory_instructions_per_warp=point["memory_instructions"],
+        snapshot_config=SnapshotConfig(scale=1.0 / 16384),
+    )
+    return [
+        EntryStateSpec(
+            point["benchmark"],
+            trace_config.snapshot_config,
+            trace_config.snapshot_index,
+        ),
+        TraceSpec(point["benchmark"], trace_config),
+    ]
+
+
 def run_correlation_study(
     benchmarks=DEFAULT_BENCHMARKS,
     instruction_scales=(6, 18),
     runner=None,
-    engine: str = "vectorized",
-    verify: float = 0.0,
+    engine: str | None = None,
+    verify: float | None = None,
+    engine_spec=None,
 ) -> CorrelationResult:
     """Run both simulators across benchmarks and trace lengths.
 
-    ``verify`` is the relaxed engine's sampled oracle cross-check
-    (0.0 for the exact engines).
+    ``engine_spec`` (an :class:`repro.gpusim.engine_spec.EngineSpec`
+    or its string form) selects the fast simulator's core; the legacy
+    ``engine=`` / ``verify=`` kwargs still work but are deprecated.
     """
     from repro.engine.runner import ExperimentRunner
+    from repro.gpusim.engine_spec import EngineSpec
 
+    spec = EngineSpec.coerce(
+        engine_spec, engine=engine, verify=verify, where="run_correlation_study"
+    )
     runner = runner or ExperimentRunner()
     return runner.run(
         "correlation.fig10",
         {
             "benchmarks": tuple(benchmarks),
             "instruction_scales": tuple(instruction_scales),
-            "engine": engine,
-            "verify": verify,
+            **spec.study_params(),
         },
     )

@@ -43,6 +43,24 @@ def network_ratio(
     return engine.run(network, FINAL).compression_ratio
 
 
+def network_ratio_plan(point: dict) -> list:
+    """Shared dependency graph of one DL-ratio point: the network's
+    profile- and reference-role tensors under the Buddy pipeline."""
+    from repro.compression.bpc import BPCCompressor
+    from repro.engine.planner import ProfileTensorSpec, SnapshotsSpec
+
+    network = point["network"]
+    config = point["config"]
+    profile_config = config.as_profile()
+    algorithm = BPCCompressor()
+    return [
+        ProfileTensorSpec(network, profile_config, algorithm),
+        ProfileTensorSpec(network, config, algorithm),
+        SnapshotsSpec(network, profile_config),
+        SnapshotsSpec(network, config),
+    ]
+
+
 def measured_compression_ratios(
     config: SnapshotConfig | None = None, runner=None
 ) -> dict[str, float]:

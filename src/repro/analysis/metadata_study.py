@@ -78,6 +78,22 @@ def metadata_row(
     return MetadataStudyRow(benchmark, hit_rates)
 
 
+def fig5b_plan(point: dict) -> list:
+    """Shared dependency graph of one Fig. 5b design point: the trace
+    and the per-entry layout tensor behind it."""
+    from repro.engine.planner import EntryStateSpec, TraceSpec
+
+    trace_config = point["trace_config"]
+    return [
+        EntryStateSpec(
+            point["benchmark"],
+            trace_config.snapshot_config,
+            trace_config.snapshot_index,
+        ),
+        TraceSpec(point["benchmark"], trace_config),
+    ]
+
+
 def run_metadata_study(
     benchmarks=None,
     sizes=DEFAULT_SIZES,

@@ -145,6 +145,36 @@ def perf_benchmark_row(
     )
 
 
+def fig11_plan(point: dict) -> list:
+    """Shared dependency graph of one Fig. 11 design point.
+
+    Target selection consumes the profile-role tensor at the (small)
+    profiling scale; the trace generator and both compression states
+    consume the per-entry state of the layout dump behind the trace
+    config.  The trace itself is declared for statistics only — it is
+    cheap to regenerate from a warm entry-state tensor.
+    """
+    from repro.compression.bpc import BPCCompressor
+    from repro.engine.planner import (
+        EntryStateSpec,
+        ProfileTensorSpec,
+        SnapshotsSpec,
+        TraceSpec,
+    )
+
+    benchmark = point["benchmark"]
+    profile_config = point["profile_config"].as_profile()
+    trace_config = point["trace_config"]
+    return [
+        ProfileTensorSpec(benchmark, profile_config, BPCCompressor()),
+        SnapshotsSpec(benchmark, profile_config),
+        EntryStateSpec(
+            benchmark, trace_config.snapshot_config, trace_config.snapshot_index
+        ),
+        TraceSpec(benchmark, trace_config),
+    ]
+
+
 def run_perf_study(
     benchmarks=None,
     config: GPUConfig | None = None,
@@ -152,8 +182,9 @@ def run_perf_study(
     link_sweep=LINK_SWEEP,
     profile_config: SnapshotConfig | None = None,
     runner=None,
-    engine: str = "vectorized",
-    verify: float = 0.0,
+    engine: str | None = None,
+    verify: float | None = None,
+    engine_spec=None,
 ) -> PerfStudyResult:
     """Run the full Fig. 11 sweep.
 
@@ -167,15 +198,19 @@ def run_perf_study(
             only needs histograms).
         runner: :class:`repro.engine.ExperimentRunner` controlling
             parallelism and caching (default: serial, uncached).
-        engine: Simulator core ("vectorized" default / "relaxed" /
-            "legacy"); part of every point's cache key, so cached
-            results never mix engines.
-        verify: Fraction of relaxed-engine runs cross-checked against
-            the legacy oracle (``--verify`` on the CLI; 0.0 for the
-            exact engines).
+        engine_spec: :class:`repro.gpusim.engine_spec.EngineSpec` (or
+            its string form, e.g. ``"relaxed:verify=0.5"``) selecting
+            the simulator core; its name and verify fraction are cache
+            axes, so cached results never mix engines.
+        engine, verify: Deprecated spelling of ``engine_spec``; still
+            honoured, with a :class:`DeprecationWarning`.
     """
     from repro.engine.runner import default_runner
+    from repro.gpusim.engine_spec import EngineSpec
 
+    spec = EngineSpec.coerce(
+        engine_spec, engine=engine, verify=verify, where="run_perf_study"
+    )
     runner = runner or default_runner()
     if trace_config is None and config is not None:
         # Preserve the historical coupling: an explicit machine implies
@@ -191,8 +226,7 @@ def run_perf_study(
             "trace_config": trace_config,
             "link_sweep": tuple(link_sweep),
             "profile_config": profile_config,
-            "engine": engine,
-            "verify": verify,
+            **spec.study_params(),
         },
     )
 

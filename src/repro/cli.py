@@ -5,6 +5,7 @@ Everything routes through the :mod:`repro.engine` subsystem::
     repro list                     # registered experiments
     repro run perf.fig11 --workers 8
     repro sweep --workers 4        # the Fig. 7 design-point sweep
+    repro plan perf.fig11 --explain  # the optimized plan, unexecuted
     repro report --from-cache      # render results without re-running
     repro cache                    # cache entries/bytes/evictions
     repro cache --clear            # drop every cached result
@@ -13,16 +14,23 @@ Everything routes through the :mod:`repro.engine` subsystem::
 content-addressed cache (``.repro-cache/`` by default, overridable
 with ``--cache-dir`` or ``REPRO_CACHE_DIR``), so re-runs and partial
 sweeps are incremental; ``--workers N`` fans design points out across
-processes with bit-identical results.
+processes with bit-identical results.  ``sweep`` runs all requested
+experiments as ONE planned sweep (:mod:`repro.engine.planner`):
+shared profile/entry-state artifacts dedupe across experiments and
+profile builds merge into bulk compression calls.  ``plan`` prints
+what that optimizer would do — node graph, dedupe counts, predicted
+cache hits — without executing anything.
 
 The paper's figure names (``repro fig3`` … ``repro fig13``) remain as
-aliases that run serially without touching the cache, printing the
-same rows/series the paper reports.
+deprecated aliases that run serially without touching the cache,
+printing the same rows/series the paper reports plus a pointer to the
+equivalent ``repro run`` invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 
@@ -156,6 +164,60 @@ def _build_runner(args, offline: bool = False) -> ExperimentRunner:
     )
 
 
+def _cli_engine_spec(name: str, args):
+    """The CLI's single engine-selection parse point.
+
+    Folds ``--engine-spec`` (preferred) and the legacy ``--engine`` /
+    ``--verify`` pair into one validated
+    :class:`~repro.gpusim.engine_spec.EngineSpec`, or ``None`` when no
+    engine selection applies to this experiment.
+    """
+    from repro.gpusim.engine_spec import EngineSpec
+
+    text = getattr(args, "engine_spec", None)
+    engine = getattr(args, "engine", None)
+    verify = getattr(args, "verify", None)
+    if text:
+        if engine or verify:
+            raise KeyError(
+                "pass either --engine-spec or the --engine/--verify "
+                "pair, not both"
+            )
+        spec = EngineSpec.parse(text)
+    elif engine or verify:
+        if verify and engine != "relaxed":
+            # The exact engines have nothing to cross-check; passing
+            # verify through would raise deep inside every design
+            # point, so fail the friendly way the other flags do.
+            print(
+                "warning: --verify is the relaxed engine's oracle "
+                "cross-check; pass --engine relaxed to enable it "
+                "(--verify ignored)",
+                file=sys.stderr,
+            )
+            verify = None
+        spec = EngineSpec(engine or "vectorized", verify or 0.0)
+    else:
+        return None
+    if "engine" not in get_experiment(name).defaults():
+        print(
+            f"warning: {name} has no simulator engine axis; "
+            "engine selection ignored",
+            file=sys.stderr,
+        )
+        return None
+    if spec.tolerance is not None:
+        # A custom tolerance cannot reach cached design points without
+        # becoming a cache axis (see EngineSpec.study_params).
+        print(
+            "warning: tolerance= is a direct-simulation knob; cached "
+            "experiments pin the default tolerances (ignored)",
+            file=sys.stderr,
+        )
+        spec = replace(spec, tolerance=None)
+    return spec
+
+
 def _experiment_params(name: str, args) -> dict:
     """Translate CLI flags into experiment parameter overrides."""
     from repro.workloads.snapshots import SnapshotConfig
@@ -166,36 +228,11 @@ def _experiment_params(name: str, args) -> dict:
     if benchmarks:
         key = "networks" if name.startswith("dl.") else "benchmarks"
         params[key] = tuple(benchmarks)
-    engine = getattr(args, "engine", None)
-    if engine:
-        if "engine" in get_experiment(name).defaults():
-            params["engine"] = engine
-        else:
-            print(
-                f"warning: {name} has no simulator engine axis; "
-                "--engine ignored",
-                file=sys.stderr,
-            )
-    verify = getattr(args, "verify", None)
-    if verify:
-        if "verify" not in get_experiment(name).defaults():
-            print(
-                f"warning: {name} has no simulator engine axis; "
-                "--verify ignored",
-                file=sys.stderr,
-            )
-        elif engine != "relaxed":
-            # The exact engines have nothing to cross-check; passing
-            # verify through would raise deep inside every design
-            # point, so fail the friendly way the other flags do.
-            print(
-                "warning: --verify is the relaxed engine's oracle "
-                "cross-check; pass --engine relaxed to enable it "
-                "(--verify ignored)",
-                file=sys.stderr,
-            )
-        else:
-            params["verify"] = verify
+    spec = _cli_engine_spec(name, args)
+    if spec is not None:
+        params["engine"] = spec.name
+        if spec.verify:
+            params["verify"] = spec.verify
     scale = getattr(args, "scale", None)
     if scale:
         defaults = get_experiment(name).defaults()
@@ -264,10 +301,42 @@ def _cmd_sweep(args) -> int:
         list(experiment_names()) if args.all else list(DEFAULT_SWEEP)
     )
     status = _check_names(names)
-    for name in names if status == 0 else ():
+    if status:
+        return status
+    runner = _build_runner(args)
+    requests = [(name, _experiment_params(name, args)) for name in names]
+    sweep = runner.run_sweep(requests)
+    for name, value, report in zip(names, sweep.values, sweep.reports):
         print(f"== {name} ==")
-        status = max(status, _run_one(name, args))
-    return status
+        FORMATTERS[name](value)
+        if not args.quiet:
+            print(report.summary())
+            print(f"result digest: {result_digest(value)}")
+    if not args.quiet:
+        print(sweep.execution.summary())
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    """Print the optimized plan of a sweep without executing it."""
+    from repro.engine.planner import plan
+
+    names = list(args.experiments) or (
+        list(experiment_names()) if args.all else list(DEFAULT_SWEEP)
+    )
+    status = _check_names(names)
+    if status:
+        return status
+    runner = _build_runner(args)
+    requests = [(name, _experiment_params(name, args)) for name in names]
+    sweep_plan = plan(requests, runner)
+    if args.json:
+        print(json.dumps(sweep_plan.to_json(), indent=2))
+    elif args.explain:
+        print(sweep_plan.explain())
+    else:
+        print(sweep_plan.describe())
+    return 0
 
 
 def _cmd_report(args) -> int:
@@ -288,8 +357,26 @@ def _cmd_cache(args) -> int:
         return 0
     if args.evict_to is not None:
         evicted = cache.evict(args.evict_to)
-        print(f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}")
+        if not args.json:
+            print(f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}")
     usage = cache.usage()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": str(cache.root),
+                    "entries": usage.entries,
+                    "bytes": usage.bytes,
+                    "evictions": usage.evictions,
+                    "per_experiment": {
+                        name: {"entries": entries, "bytes": size}
+                        for name, (entries, size) in usage.per_experiment.items()
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"cache root: {cache.root}")
     for name, (entries, size) in usage.per_experiment.items():
         print(f"  {name:20s} {entries:6d} entr{'y' if entries == 1 else 'ies'} {size:12,d} bytes")
@@ -313,6 +400,15 @@ def _cmd_figure(args) -> int:
             print(f"== {name} (.:1 -:2 +:3 #:4 sectors) ==")
             print(render_heatmap(fig6_heatmap(name)))
         return 0
+    equivalent = " ".join(
+        ["repro", "run", FIGURE_ALIASES[args.figure], *args.benchmarks]
+    )
+    print(
+        f"warning: 'repro {args.figure}' is deprecated; use "
+        f"'{equivalent}' (add --workers/--cache-dir for the cached, "
+        "parallel engine)",
+        file=sys.stderr,
+    )
     return _run_one(FIGURE_ALIASES[args.figure], args)
 
 
@@ -356,6 +452,15 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--engine-spec",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "unified engine selection, e.g. 'relaxed:verify=0.5' "
+            "(subsumes --engine/--verify; see repro.gpusim.EngineSpec)"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the cache/digest summary lines",
@@ -390,6 +495,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    plan = commands.add_parser(
+        "plan",
+        help="show the optimized sweep plan (dedupe/merge) without running",
+    )
+    plan.add_argument(
+        "experiments", nargs="*", help="experiments (default: compression.fig7)"
+    )
+    plan.add_argument(
+        "--all", action="store_true", help="plan every registered experiment"
+    )
+    plan.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print the full node graph and merge groups",
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="machine-readable plan description"
+    )
+    _add_engine_options(plan)
+    plan.set_defaults(func=_cmd_plan)
 
     report = commands.add_parser(
         "report", help="render experiment results (optionally cache-only)"
@@ -427,6 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SIZE",
         help="LRU-evict entries until the cache fits SIZE (e.g. 256M)",
+    )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable usage report",
     )
     cache.set_defaults(func=_cmd_cache)
 

@@ -119,26 +119,31 @@ class BenchmarkProfile:
 # ---------------------------------------------------------------------------
 # Tensor construction.
 # ---------------------------------------------------------------------------
-def tensor_from_snapshots(
-    benchmark: str,
-    snapshots,
-    algorithm: CompressionAlgorithm | None = None,
-) -> ProfileTensor:
-    """Build the columnar profile of an explicit snapshot sequence.
+@dataclass
+class _GatheredRun:
+    """One benchmark run gathered for a stacked compression pass.
 
-    The whole run is compressed in one stacked pass: every allocation
-    of every snapshot is gathered into a single ``(N, 32)`` uint32
-    block array alongside an (allocation, snapshot) cell map, one bulk
-    :meth:`~repro.compression.base.CompressionAlgorithm.compressed_sizes`
-    call sizes all of it, and the results are scattered back into the
-    tensor's columns.  Per-cell ``compressed_sizes`` calls would give
-    element-wise identical sizes (entries are compressed independently;
-    the property tests pin this for every registered algorithm), but
-    the stacked pass amortises the per-call dispatch across the run —
-    the "compress in bulk, off the critical path" structure of the
-    paper's offline profiler.
+    Splitting the gather from the scatter lets
+    :func:`profile_tensors_bulk` concatenate several runs' block
+    arrays into a *single* ``compressed_sizes`` call — entries
+    compress independently, so the merged call's sizes are
+    element-wise identical to per-run calls.
     """
-    algorithm = algorithm or BPCCompressor()
+
+    benchmark: str
+    names: tuple[str, ...]
+    fractions: np.ndarray
+    cells: list[tuple[int, int, int]]  # (position, snapshot, rows)
+    blocks: list[np.ndarray]
+    snapshot_count: int
+
+    @property
+    def rows(self) -> int:
+        return sum(rows for _, _, rows in self.cells)
+
+
+def _gather_run(benchmark: str, snapshots) -> _GatheredRun:
+    """Gather a snapshot sequence's blocks and cell map for stacking."""
     order: dict[str, int] = {}
     fractions: dict[str, float] = {}
     blocks: list[np.ndarray] = []
@@ -166,28 +171,68 @@ def tensor_from_snapshots(
                 f"allocation {name!r} present in {seen} of "
                 f"{snapshot_count} snapshots; profiles must be rectangular"
             )
-    counts = np.zeros((len(names), snapshot_count, SECTORS_PER_ENTRY), np.int64)
-    zero_fit = np.zeros((len(names), snapshot_count), np.int64)
-    if cells:
-        stacked = np.concatenate(blocks, axis=0)
-        sizes = algorithm.compressed_sizes(stacked)
-        record_bulk_compression_call()
-        offset = 0
-        for position, snapshot, rows in cells:
-            # One SectorHistogram.from_sizes call per cell keeps the
-            # sector-bucket / zero-class rule defined in exactly one
-            # place; the tensor stores its integer columns.
-            histogram = SectorHistogram.from_sizes(sizes[offset : offset + rows])
-            counts[position, snapshot] = histogram.sector_counts
-            zero_fit[position, snapshot] = histogram.zero_fit
-            offset += rows
-    return ProfileTensor(
+    return _GatheredRun(
         benchmark=benchmark,
         names=names,
         fractions=np.array([fractions[name] for name in names]),
+        cells=cells,
+        blocks=blocks,
+        snapshot_count=snapshot_count,
+    )
+
+
+def _scatter_tensor(gathered: _GatheredRun, sizes: np.ndarray) -> ProfileTensor:
+    """Scatter one run's slice of bulk sizes into its tensor columns."""
+    names = gathered.names
+    counts = np.zeros(
+        (len(names), gathered.snapshot_count, SECTORS_PER_ENTRY), np.int64
+    )
+    zero_fit = np.zeros((len(names), gathered.snapshot_count), np.int64)
+    offset = 0
+    for position, snapshot, rows in gathered.cells:
+        # One SectorHistogram.from_sizes call per cell keeps the
+        # sector-bucket / zero-class rule defined in exactly one
+        # place; the tensor stores its integer columns.
+        histogram = SectorHistogram.from_sizes(sizes[offset : offset + rows])
+        counts[position, snapshot] = histogram.sector_counts
+        zero_fit[position, snapshot] = histogram.zero_fit
+        offset += rows
+    return ProfileTensor(
+        benchmark=gathered.benchmark,
+        names=names,
+        fractions=gathered.fractions,
         counts=counts,
         zero_fit=zero_fit,
     )
+
+
+def tensor_from_snapshots(
+    benchmark: str,
+    snapshots,
+    algorithm: CompressionAlgorithm | None = None,
+) -> ProfileTensor:
+    """Build the columnar profile of an explicit snapshot sequence.
+
+    The whole run is compressed in one stacked pass: every allocation
+    of every snapshot is gathered into a single ``(N, 32)`` uint32
+    block array alongside an (allocation, snapshot) cell map, one bulk
+    :meth:`~repro.compression.base.CompressionAlgorithm.compressed_sizes`
+    call sizes all of it, and the results are scattered back into the
+    tensor's columns.  Per-cell ``compressed_sizes`` calls would give
+    element-wise identical sizes (entries are compressed independently;
+    the property tests pin this for every registered algorithm), but
+    the stacked pass amortises the per-call dispatch across the run —
+    the "compress in bulk, off the critical path" structure of the
+    paper's offline profiler.
+    """
+    algorithm = algorithm or BPCCompressor()
+    gathered = _gather_run(benchmark, snapshots)
+    if not gathered.cells:
+        return _scatter_tensor(gathered, np.zeros(0, dtype=np.int64))
+    stacked = np.concatenate(gathered.blocks, axis=0)
+    sizes = algorithm.compressed_sizes(stacked)
+    record_bulk_compression_call()
+    return _scatter_tensor(gathered, sizes)
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +332,159 @@ def _algorithm_key(algorithm: CompressionAlgorithm) -> str:
     return f"{type(algorithm).__module__}.{type(algorithm).__qualname__}"
 
 
+def tensor_memo_key(
+    benchmark: str,
+    config: SnapshotConfig,
+    algorithm: CompressionAlgorithm,
+) -> tuple:
+    """The per-process memo key of one profile tensor."""
+    from repro.workloads.catalog import get_benchmark
+
+    return (get_benchmark(benchmark).name, config, _algorithm_key(algorithm))
+
+
+def entry_state_memo_key(
+    benchmark: str, config: SnapshotConfig, index: int
+) -> tuple:
+    """The per-process memo key of one entry-state tensor."""
+    from repro.workloads.catalog import get_benchmark
+
+    return (get_benchmark(benchmark).name, config, int(index))
+
+
+def tensor_cache_key(
+    benchmark: str,
+    config: SnapshotConfig,
+    algorithm: CompressionAlgorithm,
+):
+    """On-disk cache address of one profile tensor.
+
+    The sweep planner keys its ``profile_tensor`` nodes with exactly
+    this digest, so predicted cache hits in ``repro plan --explain``
+    and the planner's read-through agree byte-for-byte with the
+    profiler's own disk lookups.
+    """
+    from repro.engine.cache import CacheKey, code_salt, param_digest
+
+    name, cfg, algorithm_key = tensor_memo_key(benchmark, config, algorithm)
+    digest = param_digest(
+        "profile.tensor",
+        {"benchmark": name, "config": cfg, "algorithm": algorithm_key},
+        code_salt(_TENSOR_SALT_MODULES + (type(algorithm).__module__,)),
+    )
+    return CacheKey("profile.tensor", digest)
+
+
+def entry_state_cache_key(benchmark: str, config: SnapshotConfig, index: int):
+    """On-disk cache address of one entry-state tensor."""
+    from repro.engine.cache import CacheKey, code_salt, param_digest
+
+    name, cfg, idx = entry_state_memo_key(benchmark, config, index)
+    digest = param_digest(
+        "profile.entries",
+        {"benchmark": name, "config": cfg, "index": idx},
+        code_salt(_TENSOR_SALT_MODULES),
+    )
+    return CacheKey("profile.entries", digest)
+
+
+def seed_memo(tensors=None, entry_states=None) -> None:
+    """Install prebuilt tensors into the per-process memos.
+
+    The planner ships shared-stage results to cacheless point workers
+    through this hook (``tensors`` maps :func:`tensor_memo_key` keys to
+    :class:`ProfileTensor`, ``entry_states`` maps
+    :func:`entry_state_memo_key` keys to
+    :class:`~repro.core.profile_tensor.EntryStateTensor`), so point
+    execution finds them warm without rebuilding or touching disk.
+    """
+    if tensors:
+        _TENSOR_MEMO.update(tensors)
+    if entry_states:
+        _ENTRY_STATE_MEMO.update(entry_states)
+
+
+def profile_tensors_bulk(
+    benchmarks,
+    config: SnapshotConfig | None = None,
+    algorithm: CompressionAlgorithm | None = None,
+    built: list | None = None,
+) -> dict:
+    """Profile several benchmarks through ONE bulk compression call.
+
+    The mega-batched form of :func:`profile_tensor`: every benchmark
+    missing from the memo (and, when installed, the disk cache) has
+    its run gathered, all gathered block arrays are concatenated, and
+    a single ``compressed_sizes`` call sizes the whole batch before
+    per-run scatter.  Entries compress independently, so each
+    resulting tensor is bit-identical to a solo
+    :func:`profile_tensor` build — but a planned Fig. 7+9 sweep
+    issues one bulk call where the unplanned path issues one per
+    benchmark.  Counter semantics are preserved: ``_PROFILE_PASSES``
+    advances once per tensor actually built, and
+    :func:`record_bulk_compression_call` once per stacked call.
+
+    When ``built`` is a list, the names of the benchmarks whose
+    tensors were actually built (memo and disk hits excluded) are
+    appended to it — the planner's generation accounting.
+    """
+    global _PROFILE_PASSES
+    config = config or SnapshotConfig()
+    algorithm = algorithm or BPCCompressor()
+    tensors: dict[str, ProfileTensor] = {}
+    missing: list[str] = []
+    for benchmark in benchmarks:
+        name, _, _ = tensor_memo_key(benchmark, config, algorithm)
+        if name in tensors:
+            continue
+        memo_key = (name, config, _algorithm_key(algorithm))
+        tensor = _TENSOR_MEMO.get(memo_key)
+        if tensor is None and _TENSOR_CACHE is not None:
+            from repro.engine.cache import CacheMiss
+
+            try:
+                tensor = _TENSOR_CACHE.get(
+                    tensor_cache_key(name, config, algorithm)
+                )
+            except CacheMiss:
+                tensor = None
+            if tensor is not None:
+                _TENSOR_MEMO[memo_key] = tensor
+        if tensor is None:
+            missing.append(name)
+        else:
+            tensors[name] = tensor
+    if missing:
+        gathered = [
+            _gather_run(name, generate_run(name, config)) for name in missing
+        ]
+        blocks = [block for run in gathered for block in run.blocks]
+        sizes = np.zeros(0, dtype=np.int64)
+        if blocks:
+            sizes = algorithm.compressed_sizes(np.concatenate(blocks, axis=0))
+            record_bulk_compression_call()
+        offset = 0
+        for run in gathered:
+            rows = run.rows
+            tensor = _scatter_tensor(run, sizes[offset : offset + rows])
+            offset += rows
+            _PROFILE_PASSES += 1
+            if built is not None:
+                built.append(run.benchmark)
+            _TENSOR_MEMO[(run.benchmark, config, _algorithm_key(algorithm))] = (
+                tensor
+            )
+            if _TENSOR_CACHE is not None:
+                _TENSOR_CACHE.put(
+                    tensor_cache_key(run.benchmark, config, algorithm), tensor
+                )
+            tensors[run.benchmark] = tensor
+    return {
+        benchmark: tensors[tensor_memo_key(benchmark, config, algorithm)[0]]
+        for benchmark in benchmarks
+    }
+
+
 def profile_tensor(
     benchmark: str,
     config: SnapshotConfig | None = None,
@@ -312,16 +510,9 @@ def profile_tensor(
 
     cache_key = None
     if _TENSOR_CACHE is not None:
-        from repro.engine.cache import CacheKey, CacheMiss, code_salt, param_digest
+        from repro.engine.cache import CacheMiss
 
-        digest = param_digest(
-            "profile.tensor",
-            {"benchmark": name, "config": config, "algorithm": memo_key[2]},
-            code_salt(
-                _TENSOR_SALT_MODULES + (type(algorithm).__module__,)
-            ),
-        )
-        cache_key = CacheKey("profile.tensor", digest)
+        cache_key = tensor_cache_key(name, config, algorithm)
         try:
             tensor = _TENSOR_CACHE.get(cache_key)
         except CacheMiss:
@@ -371,14 +562,9 @@ def entry_state_tensor(
 
     cache_key = None
     if _TENSOR_CACHE is not None:
-        from repro.engine.cache import CacheKey, CacheMiss, code_salt, param_digest
+        from repro.engine.cache import CacheMiss
 
-        digest = param_digest(
-            "profile.entries",
-            {"benchmark": name, "config": config, "index": int(index)},
-            code_salt(_TENSOR_SALT_MODULES),
-        )
-        cache_key = CacheKey("profile.entries", digest)
+        cache_key = entry_state_cache_key(name, config, index)
         try:
             state = _TENSOR_CACHE.get(cache_key)
         except CacheMiss:

@@ -22,6 +22,19 @@ from repro.engine.cache import (
     param_digest,
     result_digest,
 )
+from repro.engine.planner import (
+    EntryStateSpec,
+    ExecutionReport,
+    Plan,
+    PlanNode,
+    PlanStats,
+    ProfileTensorSpec,
+    SnapshotsSpec,
+    SweepResult,
+    TraceSpec,
+    execute_plan,
+    plan,
+)
 from repro.engine.registry import (
     Experiment,
     experiment_names,
@@ -41,18 +54,29 @@ from repro.engine.runner import (
 __all__ = [
     "CacheMiss",
     "CacheUsage",
+    "EntryStateSpec",
+    "ExecutionReport",
     "Experiment",
     "ExperimentRunner",
+    "Plan",
+    "PlanNode",
+    "PlanStats",
+    "ProfileTensorSpec",
     "ResultCache",
     "RunReport",
+    "SnapshotsSpec",
+    "SweepResult",
+    "TraceSpec",
     "add_runner_options",
     "code_salt",
     "default_runner",
     "example_runner",
+    "execute_plan",
     "experiment_names",
     "get_experiment",
     "param_digest",
     "parse_size",
+    "plan",
     "register",
     "result_digest",
     "runner_from_args",

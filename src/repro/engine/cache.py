@@ -147,18 +147,26 @@ class CacheKey:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store/eviction counters for one cache instance."""
+    """Hit/miss/store/eviction counters for one cache instance.
+
+    ``scans`` counts full directory walks (every entry stat-ed): the
+    running size estimate keeps bounded ``put`` amortised-scan-free,
+    and an evicting put performs exactly ONE walk — the regression
+    tests pin both.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    scans: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
         self.evictions += other.evictions
+        self.scans += other.scans
 
 
 @dataclass
@@ -246,12 +254,16 @@ class ResultCache:
         self.stats.stores += 1
         if self.max_bytes is not None:
             if self._approx_bytes is None:
-                self._approx_bytes = self._scan_bytes()
+                # First bounded put: one walk inside evict() both
+                # measures the root (resynchronising the estimate) and
+                # trims it if it is already over budget — never a
+                # measure-then-evict double scan.
+                self.evict(self.max_bytes, keep=path)
             else:
                 with contextlib.suppress(OSError):
                     self._approx_bytes += path.stat().st_size
-            if self._approx_bytes > self.max_bytes:
-                self.evict(self.max_bytes, keep=path)
+                if self._approx_bytes > self.max_bytes:
+                    self.evict(self.max_bytes, keep=path)
 
     # ------------------------------------------------------------------
     def entries(self) -> list[Path]:
@@ -260,15 +272,9 @@ class ResultCache:
             return []
         return list(self.root.rglob("*.pkl"))
 
-    def _scan_bytes(self) -> int:
-        total = 0
-        for entry in self.entries():
-            with contextlib.suppress(OSError):
-                total += entry.stat().st_size
-        return total
-
     def usage(self) -> CacheUsage:
         """Entries and bytes on disk, per experiment and total."""
+        self.stats.scans += 1
         per_experiment: dict[str, tuple[int, int]] = {}
         total_entries = 0
         total_bytes = 0
@@ -296,7 +302,12 @@ class ResultCache:
         smaller than one entry degrades to keeping only the newest.
         Returns the number of entries removed; concurrent writers may
         race deletions, which is tolerated.
+
+        Usage is computed ONCE per evict: the single walk below feeds
+        both the size measurement and the LRU ordering, and its result
+        resynchronises the running estimate bounded puts maintain.
         """
+        self.stats.scans += 1
         aged = []
         total = 0
         for path in self.entries():

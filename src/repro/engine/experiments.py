@@ -108,6 +108,12 @@ def _fig3_aggregate(results: list, params: dict) -> list:
     return list(results)
 
 
+def _fig3_plan(point: dict) -> list:
+    from repro.analysis.compression_study import fig3_plan
+
+    return fig3_plan(point)
+
+
 register(
     Experiment(
         name="compression.fig3",
@@ -117,6 +123,7 @@ register(
         run_point=_fig3_point,
         aggregate=_fig3_aggregate,
         salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+        plan_point=_fig3_plan,
     )
 )
 
@@ -144,6 +151,12 @@ def _fig7_aggregate(results: list, params: dict):
     return DesignPointStudy(_keyed_by_benchmark(results, params))
 
 
+def _fig7_plan(point: dict) -> list:
+    from repro.analysis.compression_study import buddy_pipeline_plan
+
+    return buddy_pipeline_plan(point)
+
+
 register(
     Experiment(
         name="compression.fig7",
@@ -153,6 +166,7 @@ register(
         run_point=_fig7_point,
         aggregate=_fig7_aggregate,
         salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+        plan_point=_fig7_plan,
     )
 )
 
@@ -172,6 +186,12 @@ def _fig8_point(point: dict):
     return fig8_benchmark(point["benchmark"], point["config"])
 
 
+def _fig8_plan(point: dict) -> list:
+    from repro.analysis.compression_study import buddy_pipeline_plan
+
+    return buddy_pipeline_plan(point)
+
+
 register(
     Experiment(
         name="compression.fig8",
@@ -181,6 +201,7 @@ register(
         run_point=_fig8_point,
         aggregate=_keyed_by_benchmark,
         salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+        plan_point=_fig8_plan,
     )
 )
 
@@ -203,6 +224,12 @@ def _fig9_point(point: dict):
     )
 
 
+def _fig9_plan(point: dict) -> list:
+    from repro.analysis.compression_study import buddy_pipeline_plan
+
+    return buddy_pipeline_plan(point)
+
+
 register(
     Experiment(
         name="compression.fig9",
@@ -212,6 +239,7 @@ register(
         run_point=_fig9_point,
         aggregate=_keyed_by_benchmark,
         salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+        plan_point=_fig9_plan,
     )
 )
 
@@ -243,6 +271,12 @@ def _fig5b_aggregate(results: list, params: dict) -> list:
     return list(results)
 
 
+def _fig5b_plan(point: dict) -> list:
+    from repro.analysis.metadata_study import fig5b_plan
+
+    return fig5b_plan(point)
+
+
 register(
     Experiment(
         name="metadata.fig5b",
@@ -259,6 +293,7 @@ register(
             "repro.core.profiler",
             "repro.workloads.traces",
         ),
+        plan_point=_fig5b_plan,
     )
 )
 
@@ -313,6 +348,12 @@ def _fig10_aggregate(results: list, params: dict):
     return CorrelationResult(list(results))
 
 
+def _fig10_plan(point: dict) -> list:
+    from repro.analysis.correlation_study import fig10_plan
+
+    return fig10_plan(point)
+
+
 register(
     Experiment(
         name="correlation.fig10",
@@ -326,6 +367,7 @@ register(
             "repro.analysis.correlation_study",
             "repro.gpusim.reference",
         ),
+        plan_point=_fig10_plan,
     )
 )
 
@@ -373,6 +415,12 @@ def _fig11_aggregate(results: list, params: dict):
     return PerfStudyResult(list(results))
 
 
+def _fig11_plan(point: dict) -> list:
+    from repro.analysis.perf_study import fig11_plan
+
+    return fig11_plan(point)
+
+
 register(
     Experiment(
         name="perf.fig11",
@@ -384,6 +432,7 @@ register(
         salt_modules=_SIMULATOR_MODULES
         + _PIPELINE_MODULES
         + ("repro.analysis.perf_study",),
+        plan_point=_fig11_plan,
     )
 )
 
@@ -468,6 +517,12 @@ def _dl_ratio_aggregate(results: list, params: dict) -> dict:
     return dict(zip(params["networks"], results))
 
 
+def _dl_ratio_plan(point: dict) -> list:
+    from repro.analysis.dl_study import network_ratio_plan
+
+    return network_ratio_plan(point)
+
+
 register(
     Experiment(
         name="dl.ratios",
@@ -477,6 +532,7 @@ register(
         run_point=_dl_ratio_point,
         aggregate=_dl_ratio_aggregate,
         salt_modules=_PIPELINE_MODULES + ("repro.analysis.dl_study",),
+        plan_point=_dl_ratio_plan,
     )
 )
 
@@ -517,5 +573,6 @@ register(
             "repro.dlmodel.networks",
             "repro.dlmodel.throughput",
         ),
+        plan_point=_dl_ratio_plan,
     )
 )

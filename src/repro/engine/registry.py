@@ -11,7 +11,10 @@ a study as a cached, parallel sweep:
 * ``aggregate`` — point results (in expansion order) + parameters →
   the study's result object;
 * ``salt_modules`` — the modules whose source text forms the cache's
-  code-version salt.
+  code-version salt;
+* ``plan_point`` (optional) — design point → the typed dependency
+  specs (:mod:`repro.engine.planner`) the point shares with its
+  neighbours, so the sweep planner can dedupe and merge them.
 
 The built-in experiments (one per analysis study) live in
 :mod:`repro.engine.experiments` and register on first lookup.
@@ -41,6 +44,10 @@ class Experiment:
     run_point: Callable[[dict[str, Any]], Any]
     aggregate: Callable[[list[Any], dict[str, Any]], Any]
     salt_modules: tuple[str, ...] = field(default_factory=tuple)
+    #: Optional dependency-graph declaration: point -> list of typed
+    #: planner specs (ProfileTensorSpec & co.).  ``None`` = the point
+    #: is opaque; the planner runs it unoptimized.
+    plan_point: Callable[[dict[str, Any]], list] | None = None
 
     def resolve_params(self, overrides: dict[str, Any] | None) -> dict[str, Any]:
         """Merge caller overrides into the declared defaults.

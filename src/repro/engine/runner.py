@@ -33,12 +33,35 @@ from repro.engine.registry import Experiment, get_experiment
 _UNSET = object()
 
 
+def point_digests(
+    experiment: Experiment, points: list[dict], seed: int
+) -> list[str]:
+    """Content digests addressing each design point's cached result.
+
+    The runner seed is part of the address: a point executed under one
+    ``--seed`` must not be served for another (the seed feeds the
+    per-point global-RNG derivation).  The sweep planner keys its
+    point nodes with exactly these digests, so planned and unplanned
+    execution read and write the same cache entries.
+    """
+    salt = code_salt(experiment.salt_modules)
+    return [
+        param_digest(
+            experiment.name,
+            {"params": point, "runner_seed": seed},
+            salt,
+        )
+        for point in points
+    ]
+
+
 def run_point_seeded(
     run_point: Callable[[dict], Any],
     point: dict,
     seed: int,
     cache_root: str | None = None,
     cache_max_bytes: int | None = None,
+    preload: dict | None = None,
 ) -> Any:
     """Execute one design point with deterministic global-RNG state.
 
@@ -55,14 +78,22 @@ def run_point_seeded(
     the simulators consume (``profile.entries``), shared across design
     points, experiments, worker processes and reruns — the regenerated
     snapshots themselves are never cached.
+
+    ``preload`` is the planner's cacheless transport: a mapping of
+    ``{"tensors": {memo key: tensor}, "entry_states": {...}}`` seeded
+    into the profiler's per-process memos before the point runs (see
+    :func:`repro.core.profiler.seed_memo`), so stage-0 artifacts built
+    elsewhere need not be rebuilt here.
     """
-    from repro.core.profiler import set_tensor_cache
+    from repro.core.profiler import seed_memo, set_tensor_cache
 
     previous_cache = None
     if cache_root is not None:
         previous_cache = set_tensor_cache(
             ResultCache(cache_root, max_bytes=cache_max_bytes)
         )
+    if preload:
+        seed_memo(preload.get("tensors"), preload.get("entry_states"))
     state = np.random.get_state()
     try:
         np.random.seed(seed & 0xFFFF_FFFF)
@@ -151,6 +182,28 @@ class ExperimentRunner:
         self.last_report = report
         return value, report
 
+    def run_sweep(self, requests):
+        """Run several experiments as one optimized, planned sweep.
+
+        A thin wrapper over :func:`repro.engine.planner.plan` /
+        :func:`repro.engine.planner.execute_plan`: shared dependency
+        nodes are deduped across every point of every request, profile
+        builds merge into bulk compression calls, and all points run
+        on one process pool — bit-identical to calling :meth:`run` per
+        request, but without rebuilding shared tensors per sweep.
+
+        Args:
+            requests: Iterable of experiment names or
+                ``(name, params)`` pairs.
+
+        Returns:
+            A :class:`repro.engine.planner.SweepResult` (``values``,
+            ``reports``, ``execution``, ``plan``).
+        """
+        from repro.engine.planner import execute_plan, plan
+
+        return execute_plan(plan(requests, self), self)
+
     # ------------------------------------------------------------------
     def map_points(
         self, experiment: Experiment, points: list[dict]
@@ -159,18 +212,7 @@ class ExperimentRunner:
 
         Returns ``(results, cache_hits, executed)``.
         """
-        salt = code_salt(experiment.salt_modules)
-        # The runner seed is part of the address: a point executed
-        # under one --seed must not be served for another (the seed
-        # feeds the per-point global-RNG derivation below).
-        digests = [
-            param_digest(
-                experiment.name,
-                {"params": point, "runner_seed": self.seed},
-                salt,
-            )
-            for point in points
-        ]
+        digests = point_digests(experiment, points, self.seed)
         keys = [CacheKey(experiment.name, digest) for digest in digests]
         results: list[Any] = [_UNSET] * len(points)
 

@@ -25,6 +25,7 @@ Fig. 10 correlation study.
 
 from repro.gpusim.config import GPUConfig, LinkConfig, scaled_config
 from repro.gpusim.compression import CompressionMode, CompressionState
+from repro.gpusim.engine_spec import EngineSpec
 from repro.gpusim.simulator import ENGINES, DependencyDrivenSimulator, SimResult
 from repro.gpusim.trace import ColumnarTrace, KernelTrace, WarpTrace
 from repro.gpusim.vector_cache import VectorSectoredCache
@@ -45,6 +46,7 @@ __all__ = [
     "CompressionMode",
     "CompressionState",
     "DependencyDrivenSimulator",
+    "EngineSpec",
     "VectorizedSimulator",
     "RelaxedSimulator",
     "RelaxedVerificationError",

@@ -226,7 +226,8 @@ class DependencyDrivenSimulator:
       within the pinned tolerances elsewhere.  ``verify`` selects the
       fraction of runs cross-checked against the legacy oracle
       (``verify=1.0`` checks every run; the sample is deterministic
-      per design point).
+      per design point), and ``tolerance`` optionally overrides the
+      pinned verification tolerances for those cross-checks.
     * ``"legacy"`` — the original per-access engine below, kept as the
       correctness oracle.
 
@@ -239,6 +240,7 @@ class DependencyDrivenSimulator:
         config: GPUConfig,
         engine: str = "vectorized",
         verify: float = 0.0,
+        tolerance: float | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
@@ -249,9 +251,25 @@ class DependencyDrivenSimulator:
                 "verify= cross-checking is the relaxed engine's escape "
                 f"hatch; engine {engine!r} is already exact"
             )
+        if tolerance is not None and engine != "relaxed":
+            raise ValueError(
+                "tolerance= loosens the relaxed engine's verification "
+                f"contract; engine {engine!r} has no tolerances"
+            )
         self.config = config
         self.engine = engine
         self.verify = verify
+        self.tolerance = tolerance
+
+    @classmethod
+    def from_spec(cls, config: GPUConfig, spec) -> DependencyDrivenSimulator:
+        """Build from an :class:`repro.gpusim.engine_spec.EngineSpec`
+        (or its string form) — the preferred selection surface."""
+        from repro.gpusim.engine_spec import EngineSpec
+
+        if not isinstance(spec, EngineSpec):
+            spec = EngineSpec.parse(spec)
+        return cls(config, spec.name, spec.verify, tolerance=spec.tolerance)
 
     def run(self, trace: KernelTrace, state: CompressionState) -> SimResult:
         """Simulate a kernel trace under a compression state."""
@@ -262,9 +280,9 @@ class DependencyDrivenSimulator:
         if self.engine == "relaxed":
             from repro.gpusim.vector_sim import RelaxedSimulator
 
-            return RelaxedSimulator(self.config, self.verify).run(
-                trace, state
-            )
+            return RelaxedSimulator(
+                self.config, self.verify, self.tolerance
+            ).run(trace, state)
         return self._run_legacy(trace, state)
 
     def _run_legacy(

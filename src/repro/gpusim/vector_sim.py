@@ -1397,7 +1397,9 @@ _CONTRACT_COUNTERS = (
 _CONTRACT_RATES = ("l1_hit_rate", "l2_hit_rate", "metadata_hit_rate")
 
 
-def check_relaxed_contract(relaxed, oracle, exact: bool) -> None:
+def check_relaxed_contract(
+    relaxed, oracle, exact: bool, tolerance: float | None = None
+) -> None:
     """Assert a relaxed result against the legacy oracle's.
 
     ``exact`` (reference interconnect, single-warp traces, provably
@@ -1406,9 +1408,18 @@ def check_relaxed_contract(relaxed, oracle, exact: bool) -> None:
     relative — with an absolute floor of
     :data:`RELAXED_COUNTER_FLOOR_EVENTS` transfer events, the scale
     of the oracle's own link-to-link ordering noise — and cycles
-    within :data:`RELAXED_CYCLE_TOLERANCE`.  Raises
+    within :data:`RELAXED_CYCLE_TOLERANCE`.  A non-``None``
+    ``tolerance`` (from :class:`repro.gpusim.engine_spec.EngineSpec`)
+    replaces the pinned pair at its pinned ratio: cycles within
+    ``tolerance``, counters within ``2 * tolerance``.  Raises
     :class:`RelaxedVerificationError` on the first violation.
     """
+    cycle_tolerance = (
+        RELAXED_CYCLE_TOLERANCE if tolerance is None else tolerance
+    )
+    counter_tolerance = (
+        RELAXED_COUNTER_TOLERANCE if tolerance is None else 2.0 * tolerance
+    )
     if exact:
         for field in (
             ("benchmark", "mode", "cycles", "instructions")
@@ -1431,33 +1442,33 @@ def check_relaxed_contract(relaxed, oracle, exact: bool) -> None:
             f"the oracle: {relaxed!r} vs {oracle!r}"
         )
     deviation = abs(relaxed.cycles - oracle.cycles) / oracle.cycles
-    if deviation > RELAXED_CYCLE_TOLERANCE:
+    if deviation > cycle_tolerance:
         raise RelaxedVerificationError(
             f"relaxed cycles {relaxed.cycles} deviate from oracle "
             f"{oracle.cycles} by {deviation:.2%} "
-            f"(> {RELAXED_CYCLE_TOLERANCE:.2%})"
+            f"(> {cycle_tolerance:.2%})"
         )
     for field, quantum in _CONTRACT_COUNTERS:
         got = getattr(relaxed, field)
         want = getattr(oracle, field)
         slack = max(
             RELAXED_COUNTER_FLOOR_EVENTS * quantum,
-            RELAXED_COUNTER_TOLERANCE * want,
+            counter_tolerance * want,
         )
         if abs(got - want) > slack:
             raise RelaxedVerificationError(
                 f"relaxed {field} {got} deviates from oracle {want} "
-                f"by more than {RELAXED_COUNTER_TOLERANCE:.2%} "
+                f"by more than {counter_tolerance:.2%} "
                 f"(+{RELAXED_COUNTER_FLOOR_EVENTS}-event floor)"
             )
     for field in _CONTRACT_RATES:
         got = getattr(relaxed, field)
         want = getattr(oracle, field)
-        if abs(got - want) > RELAXED_COUNTER_TOLERANCE:
+        if abs(got - want) > counter_tolerance:
             raise RelaxedVerificationError(
                 f"relaxed {field} {got:.4f} deviates from oracle "
                 f"{want:.4f} by more than "
-                f"{RELAXED_COUNTER_TOLERANCE:.2%} absolute"
+                f"{counter_tolerance:.2%} absolute"
             )
 
 
@@ -1491,12 +1502,19 @@ class RelaxedSimulator:
     bandwidth replays the frozen tape.  ``verify`` is the sampled
     escape hatch: the fraction of runs (deterministically chosen per
     design point) that are cross-checked against the legacy oracle at
-    full fidelity via :func:`check_relaxed_contract`.
+    full fidelity via :func:`check_relaxed_contract`; ``tolerance``
+    optionally overrides that contract's pinned tolerances.
     """
 
-    def __init__(self, config: GPUConfig, verify: float = 0.0) -> None:
+    def __init__(
+        self,
+        config: GPUConfig,
+        verify: float = 0.0,
+        tolerance: float | None = None,
+    ) -> None:
         self.config = config
         self.verify = verify
+        self.tolerance = tolerance
 
     def run(self, trace: KernelTrace, state: CompressionState):
         config = self.config
@@ -1520,5 +1538,7 @@ class RelaxedSimulator:
             oracle = DependencyDrivenSimulator(config, "legacy").run(
                 trace, state
             )
-            check_relaxed_contract(result, oracle, exact=at_reference)
+            check_relaxed_contract(
+                result, oracle, exact=at_reference, tolerance=self.tolerance
+            )
         return result
