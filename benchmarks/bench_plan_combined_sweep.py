@@ -18,6 +18,8 @@ Contracts:
 
 Run directly for one timed pass: ``python
 benchmarks/bench_plan_combined_sweep.py planned|unplanned [workers]``.
+Under pytest, ``--json PATH`` writes the measured numbers as a
+trajectory artifact (see ``benchmarks/conftest.py``).
 """
 
 import json
@@ -127,10 +129,19 @@ except ImportError:  # direct child invocation needs no pytest
 if pytest is not None:
 
     @pytest.mark.slow
-    def test_combined_sweep_planned_speedup():
+    def test_combined_sweep_planned_speedup(bench_json):
         planned = _spawn("planned")
         unplanned = _spawn("unplanned")
         speedup = unplanned["seconds"] / planned["seconds"]
+        bench_json.record(
+            "plan_combined_sweep",
+            workers=WORKERS,
+            planned_s=planned["seconds"],
+            unplanned_s=unplanned["seconds"],
+            planned_over_unplanned_x=speedup,
+            bulk_calls=planned["bulk_calls"],
+            snapshot_generations=planned["snapshot_generations"],
+        )
         print()
         print(
             f"planned   {planned['seconds']:6.2f}s  "

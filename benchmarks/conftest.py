@@ -14,6 +14,9 @@ cache for fast iteration on the assertions (paper-band checks, table
 rendering) rather than the timings.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.engine import ExperimentRunner, ResultCache
@@ -26,6 +29,53 @@ STATIC_SCALE = SnapshotConfig(scale=1.0 / 65536)
 @pytest.fixture(scope="session")
 def static_config() -> SnapshotConfig:
     return STATIC_SCALE
+
+
+class BenchRecorder:
+    """Collects per-bench trajectory records (``--json PATH``).
+
+    Timing benches call :meth:`record` with their measured numbers;
+    one artifact is written at session end so future runs can diff the
+    perf trajectory.  The environment block attributes every number to
+    the event-core build it was measured on (compiled vs pure-Python)
+    — without it a fallback run would read as a regression.
+    """
+
+    def __init__(self, path: str | None):
+        self.path = path
+        self.records: list[dict] = []
+
+    def record(self, bench: str, **numbers) -> None:
+        self.records.append({"bench": bench, **numbers})
+
+    def write(self) -> None:
+        if self.path is None or not self.records:
+            return
+        import platform
+
+        import numpy as np
+
+        from repro.gpusim import _event_core
+
+        artifact = {
+            "schema": "repro-bench-trajectory/1",
+            "environment": {
+                "event_core": _event_core.describe()["event_core"],
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "platform": platform.platform(),
+            },
+            "records": self.records,
+        }
+        Path(self.path).write_text(json.dumps(artifact, indent=2) + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_json(request) -> BenchRecorder:
+    """Trajectory recorder; inert unless ``--json PATH`` was given."""
+    recorder = BenchRecorder(request.config.getoption("--json"))
+    yield recorder
+    recorder.write()
 
 
 @pytest.fixture(scope="session")

@@ -15,6 +15,16 @@ def pytest_addoption(parser):
         help="worker processes for engine-backed studies (default: serial)",
     )
     parser.addoption(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the bench harness's machine-readable trajectory "
+            "artifact (speedups and wall-clock seconds per bench, plus "
+            "the environment they were measured in) to PATH"
+        ),
+    )
+    parser.addoption(
         "--bench-cache",
         nargs="?",
         const="",

@@ -1,11 +1,62 @@
-"""Setuptools shim.
+"""Setuptools shim with an optional compiled event core.
 
 The offline evaluation environment lacks the ``wheel`` package that
 modern ``pip install -e .`` requires, so this shim keeps the legacy
 ``python setup.py develop`` path available.  All metadata lives in
 ``pyproject.toml``.
+
+The extension below is the compiled twin of
+``repro/gpusim/_event_core.py`` (see that module and
+``_event_core_ext.c``).  It is strictly optional: any compile failure
+degrades to a warning and the pure-Python core keeps working, so
+source installs never require a C toolchain.  Build it in place with::
+
+    python setup.py build_ext --inplace
 """
 
 from setuptools import setup
+from setuptools.command.build_ext import build_ext
+from setuptools.errors import CCompilerError, ExecError, PlatformError
+from setuptools.extension import Extension
 
-setup()
+EVENT_CORE_EXT = Extension(
+    "repro.gpusim._event_core_ext",
+    sources=["src/repro/gpusim/_event_core_ext.c"],
+    # -ffp-contract=off keeps every double op a discrete IEEE-754
+    # operation (no fused multiply-add), which the bit-identity
+    # contract with the pure-Python core depends on.
+    extra_compile_args=["-O2", "-ffp-contract=off"],
+    optional=True,
+)
+
+
+class optional_build_ext(build_ext):
+    """Build the event core if possible; warn and continue if not."""
+
+    def run(self):  # pragma: no cover - exercised by the CI build job
+        try:
+            super().run()
+        except (PlatformError, FileNotFoundError) as exc:
+            self._warn(exc)
+
+    def build_extension(self, ext):  # pragma: no cover
+        try:
+            super().build_extension(ext)
+        except (CCompilerError, ExecError, PlatformError, ValueError) as exc:
+            self._warn(exc)
+
+    @staticmethod
+    def _warn(exc):
+        import warnings
+
+        warnings.warn(
+            "compiled event core unavailable (%s); the pure-Python "
+            "fallback will be used" % (exc,),
+            stacklevel=1,
+        )
+
+
+setup(
+    ext_modules=[EVENT_CORE_EXT],
+    cmdclass={"build_ext": optional_build_ext},
+)

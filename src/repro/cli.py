@@ -9,6 +9,7 @@ Everything routes through the :mod:`repro.engine` subsystem::
     repro report --from-cache      # render results without re-running
     repro cache                    # cache entries/bytes/evictions
     repro cache --clear            # drop every cached result
+    repro doctor                   # active event core + environment
 
 ``run`` and ``sweep`` memoise every design point in the
 content-addressed cache (``.repro-cache/`` by default, overridable
@@ -387,6 +388,53 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_doctor(args) -> int:
+    """Report the runtime environment performance numbers depend on.
+
+    Perf reports are only attributable if they say which event core
+    produced them — the compiled extension and the pure-Python
+    fallback are digest-identical but far apart in wall-clock.
+    """
+    import platform
+
+    import numpy as np
+
+    from repro.gpusim import _event_core
+
+    cache = ResultCache(args.cache_dir)
+    usage = cache.usage()
+    info = {
+        "event_core": _event_core.describe(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cache": {
+            "root": str(cache.root),
+            "entries": usage.entries,
+            "bytes": usage.bytes,
+        },
+    }
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    core = info["event_core"]
+    print(f"event core:  {core['event_core']}")
+    print(f"  extension available: {core['extension_available']}")
+    print(f"  extension ABI:       {core['extension_abi']}")
+    print(f"  forced python:       {core['forced_python']}")
+    if core["detail"]:
+        print(f"  detail:              {core['detail']}")
+    print(f"python:      {info['python']}")
+    print(f"numpy:       {info['numpy']}")
+    print(f"platform:    {info['platform']}")
+    print(
+        f"cache:       {info['cache']['root']} "
+        f"({usage.entries} entr{'y' if usage.entries == 1 else 'ies'}, "
+        f"{usage.bytes:,d} bytes)"
+    )
+    return 0
+
+
 #: Sentinel distinguishing "--clear" (clear all) from "--clear EXP".
 _KEEP = object()
 
@@ -560,6 +608,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable usage report",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    doctor = commands.add_parser(
+        "doctor",
+        help="report the active event core (compiled vs pure-Python) "
+        "and runtime environment",
+    )
+    doctor.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache/)",
+    )
+    doctor.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable environment report",
+    )
+    doctor.set_defaults(func=_cmd_doctor)
 
     for alias in sorted(FIGURE_ALIASES) + ["fig6"]:
         figure = commands.add_parser(alias, help=f"paper {alias} (serial alias)")

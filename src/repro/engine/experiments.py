@@ -54,10 +54,15 @@ _PIPELINE_MODULES = _SUBSTRATE_MODULES + (
 #: profiler layer is part of every simulator result's code salt, and
 #: both engines (the per-access oracle and the vectorized core, plus
 #: the memory-system models they share) invalidate cached results.
+#: The event core's Python module is salted; the compiled build is
+#: deliberately *not* a cache axis — it is bit-identical to the
+#: fallback by contract, and its C twin changes in lockstep with the
+#: salted Python source it transcribes.
 _SIMULATOR_MODULES = _SUBSTRATE_MODULES + (
     "repro.core.metadata_cache",
     "repro.core.profile_tensor",
     "repro.core.profiler",
+    "repro.gpusim._event_core",
     "repro.gpusim.cache",
     "repro.gpusim.compression",
     "repro.gpusim.config",

@@ -24,20 +24,26 @@ This engine therefore splits the simulation into:
    (:func:`_geometry_columns`) is shared by every compression state;
    the per-state tables (:func:`_state_columns`) are shared by every
    link bandwidth — so the Fig. 11 sweep resolves each benchmark's
-   accesses once, not once per design point.
-2. **An event core** (:meth:`VectorizedSimulator.run`) that advances
+   accesses once, not once per design point.  Everything is kept as
+   flat C-contiguous ``int64``/``float64`` columns.
+2. **An event core** (:mod:`repro.gpusim._event_core`) that advances
    ready warps in the *exact* ``(ready time, sequence)`` order of the
-   legacy scheduler, with each event reduced to a row-tuple unpack
-   over the prepared columns and a handful of float operations.
-   Cache, DRAM and interconnect state transitions are inherently
-   order-dependent, so each round's accesses resolve sequentially —
-   but all the per-access *derivation* already happened in step 1.
+   legacy scheduler over those flat columns.  Cache, DRAM and
+   interconnect state transitions are inherently order-dependent, so
+   each round's accesses resolve sequentially — but all the
+   per-access *derivation* already happened in step 1.  The core has
+   two interchangeable implementations behind one interface: an
+   always-available pure-Python loop and an optional compiled C
+   extension (``_event_core_ext``) that is bit-identical to it (see
+   the module docstring of :mod:`repro.gpusim._event_core` for the
+   selection rules and ``REPRO_NO_EXT``).
 
 The result is the oracle contract the studies rely on: identical
 integer traffic counters (``dram_bytes``, ``link_bytes``, fills, hit
 counts) and bit-identical cycle counts to the legacy engine, at a
 fraction of the wall-clock (``bench_fig11_performance.py`` pins the
-speedup; ``tests/test_vector_sim.py`` pins the equivalence).
+speedup; ``tests/test_vector_sim.py`` pins the equivalence and
+``tests/test_event_core.py`` pins compiled == pure-Python).
 
 Why the columns are layered the way they are
 --------------------------------------------
@@ -95,16 +101,14 @@ The contract this buys (pinned by ``tests/test_relaxed_sim.py``):
 
 from __future__ import annotations
 
-import gc
 import hashlib
 import weakref
 from dataclasses import replace
-from heapq import heappop, heappushpop
-from itertools import repeat
 
 import numpy as np
 
 from repro.core.metadata_cache import MetadataCache
+from repro.gpusim import _event_core
 from repro.gpusim.compression import CompressionMode, CompressionState
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.dram import (
@@ -184,22 +188,36 @@ def _machine_key(config: GPUConfig):
 
 
 class _Geometry:
-    """Per-(trace, machine) columns shared by every compression state."""
+    """Per-(trace, machine) columns shared by every compression state.
+
+    Every slot is a flat C-contiguous ``int64``/``float64`` column (or
+    a plain int for the cache-shape scalars) — the struct-of-arrays
+    pack the event core consumes directly.  ``rows_cache`` is the
+    pure-Python core's memo for the transient row tuples it derives
+    from these columns (the compiled core reads the arrays in place).
+    """
 
     __slots__ = (
-        "codes_ideal", "codes_packed", "busy", "probe_rows",
-        "host_rows", "meta_rows", "lid", "l2set", "chan", "row", "bank",
-        "count", "mask",
+        "codes_ideal", "codes_packed", "busy",
+        "lid", "mask", "l1flat", "l2set", "chan", "row", "bank", "count",
+        "hbytes", "hnum",
+        "mtag", "mslot", "mchan", "mrow", "mbank",
+        "warp_start", "warp_sm", "warp_mlp",
+        "l1_sets_total", "l1_ways", "l2_sets", "l2_ways",
+        "meta_slots", "meta_ways",
+        "rows_cache",
     )
 
 
 class _StateColumns:
-    """Per-(trace, state, machine) resolution tables."""
+    """Per-(trace, state, machine) resolution tables (flat columns)."""
 
     __slots__ = (
-        "codes", "fill_rows", "entries", "use_meta", "ideal",
+        "codes", "dev", "serv_hit", "serv_miss", "bud", "bnum",
+        "entries", "use_meta", "ideal",
         "wb_dev", "wb_serv", "wb_bud", "wb_bnum",
         "wb_ideal_bytes", "wb_ideal_serv",
+        "rows_cache",
     )
 
 
@@ -265,33 +283,30 @@ def _geometry_columns(trace: KernelTrace, config: GPUConfig) -> _Geometry:
     )
     chan, row, bank = dram.decompose(lid * MEMORY_ENTRY_BYTES)
 
+    def _i64(column):
+        return np.ascontiguousarray(column, dtype=np.int64)
+
     geometry = _Geometry()
-    geometry.codes_ideal = codes_ideal.tolist()
-    geometry.codes_packed = codes_packed.tolist()
-    geometry.busy = (
+    geometry.codes_ideal = _i64(codes_ideal)
+    geometry.codes_packed = _i64(codes_packed)
+    geometry.busy = np.ascontiguousarray(
         np.where(is_mem, 0, a).astype(np.float64) * config.issue_interval
-    ).tolist()
-    geometry.probe_rows = list(
-        zip(lid.tolist(), mask.tolist(), l1flat.tolist(), l2set.tolist())
     )
-    geometry.lid = lid
-    geometry.mask = mask
-    geometry.l2set = l2set
-    geometry.chan = chan
-    geometry.row = row
-    geometry.bank = bank
+    geometry.lid = _i64(lid)
+    geometry.mask = _i64(mask)
+    geometry.l1flat = _i64(l1flat)
+    geometry.l2set = _i64(l2set)
+    geometry.chan = _i64(chan)
+    geometry.row = _i64(row)
+    geometry.bank = _i64(bank)
     geometry.count = count
 
     if host_base is not None:
         hbytes = b * SECTOR_BYTES
-        geometry.host_rows = list(
-            zip(
-                hbytes.tolist(),
-                (hbytes + TRANSACTION_OVERHEAD_BYTES).tolist(),
-            )
-        )
+        geometry.hbytes = _i64(hbytes)
+        geometry.hnum = _i64(hbytes + TRANSACTION_OVERHEAD_BYTES)
     else:
-        geometry.host_rows = None
+        geometry.hbytes = geometry.hnum = None
 
     # Metadata line geometry (consumed by BUDDY states only).
     meta = MetadataCache(
@@ -302,15 +317,26 @@ def _geometry_columns(trace: KernelTrace, config: GPUConfig) -> _Geometry:
     meta_line = lid // ENTRIES_PER_METADATA_LINE
     mslice = meta_line % meta.slices
     mset = (meta_line // meta.slices) % meta.sets_per_slice
-    mslot = mslice * meta.sets_per_slice + mset
-    mtag = meta_line // (meta.slices * meta.sets_per_slice)
+    geometry.mslot = _i64(mslice * meta.sets_per_slice + mset)
+    geometry.mtag = _i64(meta_line // (meta.slices * meta.sets_per_slice))
     mchan, mrow, mbank = dram.decompose(meta_line * METADATA_LINE_BYTES)
-    geometry.meta_rows = list(
-        zip(
-            mtag.tolist(), mslot.tolist(), mchan.tolist(),
-            mrow.tolist(), mbank.tolist(),
-        )
-    )
+    geometry.mchan = _i64(mchan)
+    geometry.mrow = _i64(mrow)
+    geometry.mbank = _i64(mbank)
+
+    # Warp cursors and cache shapes (the event core builds its own
+    # stamp tables; only the geometry crosses the boundary).
+    geometry.warp_start = _i64(col.warp_starts)
+    geometry.warp_sm = _i64(col.warp_sm)
+    geometry.warp_mlp = _i64(col.warp_mlp)
+    geometry.l1_sets_total = config.sm_count * l1_proto.sets
+    geometry.l1_ways = l1_proto.ways
+    geometry.l2_sets = l2_proto.sets
+    geometry.l2_ways = l2_proto.ways
+    geometry.meta_slots = meta.slices * meta.sets_per_slice
+    geometry.meta_ways = meta.ways
+    geometry.rows_cache = {}
+
     per_trace[key] = geometry
     return geometry
 
@@ -339,18 +365,9 @@ def _state_columns(
     buddy_table = state.buddy_transfer_bytes_table()
     if ideal:
         dev = geometry.count * SECTOR_BYTES  # sectored fill
-        fmask = geometry.mask
     else:
         dev = np.take(dev_table, entry)
-        fmask = repeat(_FULL)
     serv = dev / chan_bpc
-    serv_hit = (serv + ROW_HIT_OVERHEAD).tolist()
-    serv_miss = (serv + ROW_MISS_OVERHEAD).tolist()
-    dev_list = dev.tolist()
-    chan_list = geometry.chan.tolist()
-    row_list = geometry.row.tolist()
-    bank_list = geometry.bank.tolist()
-    fmask_iter = fmask.tolist() if isinstance(fmask, np.ndarray) else fmask
 
     columns = _StateColumns()
     columns.codes = (
@@ -359,39 +376,41 @@ def _state_columns(
     columns.entries = entries
     columns.use_meta = use_meta
     columns.ideal = ideal
+    columns.dev = np.ascontiguousarray(dev, dtype=np.int64)
+    columns.serv_hit = np.ascontiguousarray(serv + ROW_HIT_OVERHEAD)
+    columns.serv_miss = np.ascontiguousarray(serv + ROW_MISS_OVERHEAD)
     if use_meta:
         bud = np.take(buddy_table, entry)
-        columns.fill_rows = list(
-            zip(
-                dev_list, serv_hit, serv_miss, chan_list, row_list,
-                bank_list, fmask_iter, bud.tolist(),
-                (bud + TRANSACTION_OVERHEAD_BYTES).tolist(),
-            )
+        columns.bud = np.ascontiguousarray(bud, dtype=np.int64)
+        columns.bnum = np.ascontiguousarray(
+            bud + TRANSACTION_OVERHEAD_BYTES, dtype=np.int64
         )
     else:
-        columns.fill_rows = list(
-            zip(
-                dev_list, serv_hit, serv_miss, chan_list, row_list,
-                bank_list, fmask_iter,
-            )
-        )
+        columns.bud = columns.bnum = None
 
     # Writeback tables: per-entry for the compressed modes, dirty-mask
     # indexed for the sectored IDEAL baseline.
     if ideal:
-        wb_bytes = [
-            _POPCOUNT4[m] * SECTOR_BYTES for m in range(1 << SECTORS_PER_ENTRY)
-        ]
+        wb_bytes = np.array(
+            [
+                _POPCOUNT4[m] * SECTOR_BYTES
+                for m in range(1 << SECTORS_PER_ENTRY)
+            ],
+            dtype=np.int64,
+        )
         columns.wb_ideal_bytes = wb_bytes
-        columns.wb_ideal_serv = [n / chan_bpc for n in wb_bytes]
+        columns.wb_ideal_serv = wb_bytes / chan_bpc
         columns.wb_dev = columns.wb_serv = None
         columns.wb_bud = columns.wb_bnum = None
     else:
         columns.wb_ideal_bytes = columns.wb_ideal_serv = None
-        columns.wb_dev = dev_table.tolist()
-        columns.wb_serv = (dev_table / chan_bpc).tolist()
-        columns.wb_bud = buddy_table.tolist()
-        columns.wb_bnum = (buddy_table + TRANSACTION_OVERHEAD_BYTES).tolist()
+        columns.wb_dev = np.ascontiguousarray(dev_table, dtype=np.int64)
+        columns.wb_serv = np.ascontiguousarray(dev_table / chan_bpc)
+        columns.wb_bud = np.ascontiguousarray(buddy_table, dtype=np.int64)
+        columns.wb_bnum = np.ascontiguousarray(
+            buddy_table + TRANSACTION_OVERHEAD_BYTES, dtype=np.int64
+        )
+    columns.rows_cache = {}
     per_trace[key] = (state, geometry, columns)
     return geometry, columns
 
@@ -399,37 +418,54 @@ def _state_columns(
 class _Tape:
     """A frozen exact-order event stream plus its replay constants.
 
-    ``events`` holds one tuple per scheduler pop, in the exact
-    ``(ready, sequence)`` order of the recording run.  Each tuple
-    starts with an event-kind code followed by everything the timing
-    replay needs — warp, home SM, and the *resolved* resource charges
-    (DRAM service incl. row overhead, channel index, metadata
-    outcome, link payload bytes, writeback charges).  Cache and
-    row-buffer outcomes are order-determined, so they are part of the
-    tape, not of the replay.
+    ``cols`` holds the compacted struct-of-arrays event stream — the
+    12-column pack of :mod:`repro.gpusim._event_core` (kind, warp, SM,
+    three float payloads, six int payloads), one row per scheduler
+    pop, in the exact ``(ready, sequence)`` order of the recording
+    run.  Each row carries everything the timing replay needs — the
+    *resolved* resource charges (DRAM service incl. row overhead,
+    channel index, metadata outcome, link payload bytes, writeback
+    charges).  Cache and row-buffer outcomes are order-determined, so
+    they are part of the tape, not of the replay.
+
+    Columns replaced the historical ``events: list[tuple]``: at ~57
+    bytes per event they cost a fraction of the tuple stream's boxed
+    floats, which is what makes very long tapes safe to memoise
+    (``tests/test_event_core.py`` pins the reduction).
     """
 
     __slots__ = (
-        "events", "warp_mlp", "warp_count", "sm_count", "channels",
+        "cols", "warp_mlp", "warp_count", "sm_count", "channels",
         "fill_tail",
     )
 
     def __init__(self) -> None:
-        self.events: list[tuple] = []
+        self.cols = None
+
+    @property
+    def event_count(self) -> int:
+        return 0 if self.cols is None else int(self.cols[0].shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Retained tape storage (the column buffers)."""
+        if self.cols is None:
+            return 0
+        return sum(int(column.nbytes) for column in self.cols)
 
 
-#: Tape event kinds (first tuple element).
-_T_COMPUTE = 0      # (k, w, sm, busy)
-_T_LOAD_HIT = 1     # (k, w, sm, latency)
-_T_LOAD_FILL = 2    # (k, w, sm, serv, ch, mmiss, mserv, mch, bnum,
-#                      wbserv, wbch, wbbnum)
-_T_HOST_LOAD = 3    # (k, w, sm, hnum)
-_T_STORE = 4        # (k, w, sm)
-_T_STORE_WB = 5     # (k, w, sm, wbserv, wbch, wbbnum)
-_T_STORE_RMW = 6    # (k, w, sm, serv, ch, mmiss, mserv, mch, bnum,
-#                      wbserv, wbch, wbbnum)
-_T_HOST_STORE = 7   # (k, w, sm, hnum)
-_T_WARP_END = 8     # (k, w)
+#: Tape event kinds (the ``kind`` column; payload per kind is the
+#: column mapping documented in :mod:`repro.gpusim._event_core`).
+_T_COMPUTE = 0      # f0=busy
+_T_LOAD_HIT = 1     # f0=latency
+_T_LOAD_FILL = 2    # f0=serv f1=mserv f2=wbserv
+#                     i0=ch i1=mmiss i2=mch i3=bnum i4=wbch i5=wbbnum
+_T_HOST_LOAD = 3    # i0=hnum
+_T_STORE = 4        # (no payload)
+_T_STORE_WB = 5     # f2=wbserv i4=wbch i5=wbbnum
+_T_STORE_RMW = 6    # same payload as _T_LOAD_FILL
+_T_HOST_STORE = 7   # i0=hnum
+_T_WARP_END = 8     # (no payload)
 
 
 class VectorizedSimulator:
@@ -452,640 +488,73 @@ class VectorizedSimulator:
 
         config = self.config
         geometry, columns = _state_columns(trace, state, config)
-        col = trace.columnar()
         ideal = columns.ideal
         use_meta = columns.use_meta
         record = _tape is not None
-        if record:
-            tappend = _tape.events.append
 
-        # -- machine constants ----------------------------------------
-        interval = config.issue_interval
-        l1_lat = config.l1_latency
-        l2_lat = config.l2_latency
-        dram_lat = config.dram_latency
-        link_bpc = config.link.bytes_per_cycle(config.clock_hz)
-        link_lat = config.link.latency_cycles
-        fill_tail = (0 if ideal else config.decompression_latency) + l2_lat
-        row_hit_ov = ROW_HIT_OVERHEAD
-        row_miss_ov = ROW_MISS_OVERHEAD
-        line_bytes = config.line_bytes
-        row_bytes = ROW_BYTES
-        banks = BANKS_PER_CHANNEL
-        channels = config.dram_channels
         chan_bpc = config.dram_bytes_per_cycle_per_channel
-        meta_serv_hit = METADATA_LINE_BYTES / chan_bpc + row_hit_ov
-        meta_serv_miss = METADATA_LINE_BYTES / chan_bpc + row_miss_ov
+        fill_tail = (
+            0 if ideal else config.decompression_latency
+        ) + config.l2_latency
+        meta_serv = METADATA_LINE_BYTES / chan_bpc
+        warp_count = geometry.warp_sm.shape[0]
 
-        # -- column locals --------------------------------------------
-        codes = columns.codes
-        busy_col = geometry.busy
-        probe_rows = geometry.probe_rows
-        host_rows = geometry.host_rows
-        meta_rows = geometry.meta_rows
-        fill_rows = columns.fill_rows
-        entries = columns.entries
-        wb_dev = columns.wb_dev
-        wb_serv = columns.wb_serv
-        wb_bud = columns.wb_bud
-        wb_bnum = columns.wb_bnum
-        wb_ideal_bytes = columns.wb_ideal_bytes
-        wb_ideal_serv = columns.wb_ideal_serv
-
-        # -- memory-system state --------------------------------------
-        l1s = [
-            VectorSectoredCache(
-                config.l1_bytes, config.l1_ways, config.line_bytes
-            )
-            for _ in range(config.sm_count)
-        ]
-        l2 = VectorSectoredCache(
-            config.l2_bytes, config.l2_ways, config.line_bytes
+        arrays = (
+            columns.codes, geometry.busy,
+            geometry.lid, geometry.mask, geometry.l1flat, geometry.l2set,
+            geometry.chan, geometry.row, geometry.bank,
+            columns.dev, columns.serv_hit, columns.serv_miss,
+            columns.bud, columns.bnum,
+            geometry.hbytes, geometry.hnum,
+            geometry.mtag, geometry.mslot,
+            geometry.mchan, geometry.mrow, geometry.mbank,
+            columns.wb_dev, columns.wb_serv,
+            columns.wb_bud, columns.wb_bnum,
+            columns.wb_ideal_bytes, columns.wb_ideal_serv,
+            geometry.warp_start, geometry.warp_sm, geometry.warp_mlp,
         )
-        l1_ways = l1s[0].ways
-        l2_ways = l2.ways
-        l1_masks: list[dict] = []
-        for cache in l1s:
-            l1_masks.extend(cache.set_masks)
-        l2_masks = l2.set_masks
-        l2_dirty = l2.set_dirty
-
-        metadata = MetadataCache(
-            config.metadata_cache_bytes,
-            config.metadata_cache_ways,
-            config.metadata_cache_slices,
+        iscalars = (
+            warp_count, config.sm_count,
+            config.dram_channels, BANKS_PER_CHANNEL,
+            config.line_bytes, ROW_BYTES, columns.entries,
+            geometry.l1_sets_total, geometry.l1_ways,
+            geometry.l2_sets, geometry.l2_ways,
+            geometry.meta_slots, geometry.meta_ways,
+            int(ideal), int(use_meta), _FULL, METADATA_LINE_BYTES,
         )
-        meta_flat = [
-            metadata._sets[s][t]
-            for s in range(metadata.slices)
-            for t in range(metadata.sets_per_slice)
-        ]
-        meta_ways = metadata.ways
+        fscalars = (
+            config.issue_interval,
+            float(config.l1_latency),
+            float(config.l2_latency),
+            float(config.dram_latency),
+            config.link.bytes_per_cycle(config.clock_hz),
+            float(config.link.latency_cycles),
+            float(fill_tail),
+            meta_serv + ROW_HIT_OVERHEAD,
+            meta_serv + ROW_MISS_OVERHEAD,
+            ROW_HIT_OVERHEAD,
+            ROW_MISS_OVERHEAD,
+        )
 
-        next_free = [0.0] * channels
-        open_rows = [-1] * (channels * banks)
-        link_read_free = 0.0
-        link_write_free = 0.0
-
-        # -- counters --------------------------------------------------
-        l1_hits = l1_misses = 0
-        l2_hits = l2_misses = 0
-        dram_bytes = dram_requests = dram_row_hits = 0
-        link_read_bytes = link_write_bytes = 0
-        meta_hits = meta_misses = 0
-        buddy_fills = demand_fills = 0
-        rmw_counter = 0
-
-        # NOTE: the event core below is fully inlined — no closures.
-        # A nested helper capturing the loop's counters would turn
-        # them (and every other shared local) into cell variables,
-        # degrading the hottest loads/stores from LOAD_FAST to
-        # LOAD_DEREF across the whole loop (~2.5x slower core).  The
-        # writeback and RMW-fill blocks are therefore spelled out at
-        # each of their call sites.
-
-        # -- warp state ------------------------------------------------
-        starts = col.warp_starts.tolist()
-        warp_sm = col.warp_sm.tolist()
-        warp_mlp = col.warp_mlp.tolist()
-        warp_count = len(warp_sm)
-        ips = starts[:warp_count]
-        ends = starts[1:]
-        outstanding: list[list] = [[] for _ in range(warp_count)]
-        out_heads = [0] * warp_count
-        sm_free = [0.0] * config.sm_count
-        heap = [(0.0, w, w) for w in range(warp_count)]
-        sequence = warp_count
-        finish = 0.0
-        pushpop = heappushpop
-
-        gc_was_enabled = gc.isenabled()
-        gc.disable()
-        try:
-            # -- the event core ---------------------------------------
-            event = heappop(heap) if heap else None
-            while event is not None:
-                ready, _, w = event
-                i = ips[w]
-                if i == ends[w]:
-                    out = outstanding[w]
-                    head = out_heads[w]
-                    if len(out) > head:
-                        last = max(out[head:])
-                        if last > finish:
-                            finish = last
-                    if ready > finish:
-                        finish = ready
-                    if record:
-                        tappend((8, w))
-                    event = heappop(heap) if heap else None
-                    continue
-                ips[w] = i + 1
-                sm = warp_sm[w]
-                free = sm_free[sm]
-                issue = ready if ready > free else free
-                code = codes[i]
-
-                if code == 0:  # _COMPUTE
-                    next_ready = issue + busy_col[i]
-                    sm_free[sm] = next_ready
-                    if record:
-                        tappend((0, w, sm, busy_col[i]))
-                elif code == 1:  # _LOAD
-                    sm_free[sm] = issue + interval
-                    lid, msk, flat1, s2 = probe_rows[i]
-                    d1 = l1_masks[flat1]
-                    e1 = d1.get(lid)
-                    if e1 is not None and e1 & msk == msk:
-                        l1_hits += 1
-                        del d1[lid]
-                        d1[lid] = e1
-                        done = issue + l1_lat
-                        if record:
-                            tappend((1, w, sm, l1_lat))
-                    else:
-                        l1_misses += 1
-                        d2 = l2_masks[s2]
-                        e2 = d2.get(lid)
-                        if e2 is not None and e2 & msk == msk:
-                            l2_hits += 1
-                            del d2[lid]
-                            d2[lid] = e2
-                            done = issue + l2_lat
-                            if record:
-                                tappend((1, w, sm, l2_lat))
-                        else:
-                            l2_misses += 1
-                            arrival = issue + l2_lat
-                            demand_fills += 1
-                            if record:
-                                r_serv = r_mserv = r_wbserv = 0.0
-                                r_ch = r_mmiss = r_mch = 0
-                                r_bnum = r_wbch = r_wbbnum = 0
-                            if use_meta:
-                                (
-                                    dev, sh, sm_, ch, rw, bk, fm, bud, bnum,
-                                ) = fill_rows[i]
-                            else:
-                                dev, sh, sm_, ch, rw, bk, fm = fill_rows[i]
-                            # The sectored baseline requests even a
-                            # zero-sector fill (degenerate traces):
-                            # the oracle charges the channel overhead.
-                            if dev or ideal:
-                                if open_rows[bk] == rw:
-                                    serv = sh
-                                    dram_row_hits += 1
-                                else:
-                                    serv = sm_
-                                    open_rows[bk] = rw
-                                free = next_free[ch]
-                                start = free if free > arrival else arrival
-                                end = start + serv
-                                next_free[ch] = end
-                                dram_bytes += dev
-                                dram_requests += 1
-                                done = end + dram_lat
-                                if record:
-                                    r_serv = serv
-                                    r_ch = ch
-                            else:
-                                done = arrival
-                            if use_meta:
-                                mt, ms, mc, mr, mb = meta_rows[i]
-                                ways = meta_flat[ms]
-                                if mt in ways:
-                                    ways.remove(mt)
-                                    ways.append(mt)
-                                    meta_hits += 1
-                                    meta_ready = arrival
-                                else:
-                                    meta_misses += 1
-                                    ways.append(mt)
-                                    if len(ways) > meta_ways:
-                                        ways.pop(0)
-                                    if open_rows[mb] == mr:
-                                        serv = meta_serv_hit
-                                        dram_row_hits += 1
-                                    else:
-                                        serv = meta_serv_miss
-                                        open_rows[mb] = mr
-                                    free = next_free[mc]
-                                    start = (
-                                        free if free > arrival else arrival
-                                    )
-                                    end = start + serv
-                                    next_free[mc] = end
-                                    dram_bytes += METADATA_LINE_BYTES
-                                    dram_requests += 1
-                                    meta_ready = end + dram_lat
-                                    if meta_ready > done:
-                                        done = meta_ready
-                                    if record:
-                                        r_mmiss = 1
-                                        r_mserv = serv
-                                        r_mch = mc
-                                if bud:
-                                    start = (
-                                        link_read_free
-                                        if link_read_free > meta_ready
-                                        else meta_ready
-                                    )
-                                    end = start + bnum / link_bpc
-                                    link_read_free = end
-                                    link_read_bytes += bud
-                                    buddy_fills += 1
-                                    t = end + link_lat
-                                    if t > done:
-                                        done = t
-                                    if record:
-                                        r_bnum = bnum
-                            # Install (full line for compressed fills).
-                            if e2 is not None:
-                                del d2[lid]
-                                d2[lid] = e2 | fm
-                            else:
-                                if len(d2) >= l2_ways:
-                                    victim = next(iter(d2))
-                                    del d2[victim]
-                                    dirty_mask = l2_dirty[s2].pop(victim, 0)
-                                    if dirty_mask:
-                                        # Writeback (dirty eviction).
-                                        if ideal:
-                                            num = wb_ideal_bytes[dirty_mask]
-                                            serv = wb_ideal_serv[dirty_mask]
-                                        else:
-                                            ventry = victim % entries
-                                            num = wb_dev[ventry]
-                                            serv = wb_serv[ventry]
-                                        if num:
-                                            vch = victim % channels
-                                            vrow = victim * line_bytes // row_bytes
-                                            vbk = vch * banks + vrow % banks
-                                            if open_rows[vbk] == vrow:
-                                                serv = serv + row_hit_ov
-                                                dram_row_hits += 1
-                                            else:
-                                                serv = serv + row_miss_ov
-                                                open_rows[vbk] = vrow
-                                            vfree = next_free[vch]
-                                            vstart = (
-                                                vfree
-                                                if vfree > arrival
-                                                else arrival
-                                            )
-                                            next_free[vch] = vstart + serv
-                                            dram_bytes += num
-                                            dram_requests += 1
-                                            if record:
-                                                r_wbserv = serv
-                                                r_wbch = vch
-                                        if use_meta:
-                                            vbud = wb_bud[victim % entries]
-                                            if vbud:
-                                                vstart = (
-                                                    link_write_free
-                                                    if link_write_free
-                                                    > arrival
-                                                    else arrival
-                                                )
-                                                link_write_free = (
-                                                    vstart
-                                                    + wb_bnum[
-                                                        victim % entries
-                                                    ]
-                                                    / link_bpc
-                                                )
-                                                link_write_bytes += vbud
-                                                if record:
-                                                    r_wbbnum = wb_bnum[
-                                                        victim % entries
-                                                    ]
-                                d2[lid] = fm
-                            done = done + fill_tail
-                            if record:
-                                tappend((
-                                    2, w, sm, r_serv, r_ch, r_mmiss,
-                                    r_mserv, r_mch, r_bnum, r_wbserv,
-                                    r_wbch, r_wbbnum,
-                                ))
-                        # L1 fill (never dirty; evictions are silent).
-                        if e1 is not None:
-                            del d1[lid]
-                            d1[lid] = e1 | msk
-                        else:
-                            if len(d1) >= l1_ways:
-                                del d1[next(iter(d1))]
-                            d1[lid] = msk
-                    out = outstanding[w]
-                    out.append(done)
-                    head = out_heads[w]
-                    if len(out) - head >= warp_mlp[w]:
-                        next_ready = out[head]
-                        out_heads[w] = head + 1
-                    else:
-                        next_ready = issue + interval
-                elif code == 2 or code == 5:  # _STORE / _STORE_RMW
-                    sm_free[sm] = issue + interval
-                    lid, msk, flat1, s2 = probe_rows[i]
-                    if record:
-                        r_fill = 0
-                        r_serv = r_mserv = r_wbserv = 0.0
-                        r_ch = r_mmiss = r_mch = 0
-                        r_bnum = r_wbch = r_wbbnum = 0
-                    if code == 5:
-                        # Partial store into a compressed entry: every
-                        # fourth pays the read-modify-write fetch
-                        # unless the line is fully resident.  This is
-                        # the load-miss fill at arrival ``issue``; the
-                        # completion time is discarded because stores
-                        # do not stall the warp.
-                        rmw_counter += 1
-                        if not rmw_counter % 4:
-                            d2 = l2_masks[s2]
-                            e2 = d2.get(lid)
-                            if e2 is not None and e2 & _FULL == _FULL:
-                                l2_hits += 1
-                                del d2[lid]
-                                d2[lid] = e2
-                            else:
-                                l2_misses += 1
-                                demand_fills += 1
-                                if record:
-                                    r_fill = 1
-                                if use_meta:
-                                    (
-                                        dev, sh, sm_, ch, rw, bk, fm,
-                                        bud, bnum,
-                                    ) = fill_rows[i]
-                                else:
-                                    dev, sh, sm_, ch, rw, bk, fm = (
-                                        fill_rows[i]
-                                    )
-                                if dev:
-                                    if open_rows[bk] == rw:
-                                        serv = sh
-                                        dram_row_hits += 1
-                                    else:
-                                        serv = sm_
-                                        open_rows[bk] = rw
-                                    free = next_free[ch]
-                                    start = free if free > issue else issue
-                                    next_free[ch] = start + serv
-                                    dram_bytes += dev
-                                    dram_requests += 1
-                                    if record:
-                                        r_serv = serv
-                                        r_ch = ch
-                                if use_meta:
-                                    meta_ready = issue
-                                    mt, ms, mc, mr, mb = meta_rows[i]
-                                    ways = meta_flat[ms]
-                                    if mt in ways:
-                                        ways.remove(mt)
-                                        ways.append(mt)
-                                        meta_hits += 1
-                                    else:
-                                        meta_misses += 1
-                                        ways.append(mt)
-                                        if len(ways) > meta_ways:
-                                            ways.pop(0)
-                                        if open_rows[mb] == mr:
-                                            serv = meta_serv_hit
-                                            dram_row_hits += 1
-                                        else:
-                                            serv = meta_serv_miss
-                                            open_rows[mb] = mr
-                                        free = next_free[mc]
-                                        start = (
-                                            free if free > issue else issue
-                                        )
-                                        end = start + serv
-                                        next_free[mc] = end
-                                        dram_bytes += METADATA_LINE_BYTES
-                                        dram_requests += 1
-                                        meta_ready = end + dram_lat
-                                        if record:
-                                            r_mmiss = 1
-                                            r_mserv = serv
-                                            r_mch = mc
-                                    if bud:
-                                        start = (
-                                            link_read_free
-                                            if link_read_free > meta_ready
-                                            else meta_ready
-                                        )
-                                        link_read_free = (
-                                            start + bnum / link_bpc
-                                        )
-                                        link_read_bytes += bud
-                                        buddy_fills += 1
-                                        if record:
-                                            r_bnum = bnum
-                                # Install the whole line.
-                                if e2 is not None:
-                                    del d2[lid]
-                                    d2[lid] = e2 | fm
-                                else:
-                                    if len(d2) >= l2_ways:
-                                        victim = next(iter(d2))
-                                        del d2[victim]
-                                        dirty_mask = l2_dirty[s2].pop(
-                                            victim, 0
-                                        )
-                                        if dirty_mask:
-                                            # Writeback (RMW is only
-                                            # taken in the compressed
-                                            # modes).
-                                            ventry = victim % entries
-                                            num = wb_dev[ventry]
-                                            serv = wb_serv[ventry]
-                                            if num:
-                                                vch = victim % channels
-                                                vrow = victim * line_bytes // row_bytes
-                                                vbk = (
-                                                    vch * banks
-                                                    + vrow % banks
-                                                )
-                                                if open_rows[vbk] == vrow:
-                                                    serv = serv + row_hit_ov
-                                                    dram_row_hits += 1
-                                                else:
-                                                    serv = (
-                                                        serv + row_miss_ov
-                                                    )
-                                                    open_rows[vbk] = vrow
-                                                vfree = next_free[vch]
-                                                vstart = (
-                                                    vfree
-                                                    if vfree > issue
-                                                    else issue
-                                                )
-                                                next_free[vch] = (
-                                                    vstart + serv
-                                                )
-                                                dram_bytes += num
-                                                dram_requests += 1
-                                                if record:
-                                                    r_wbserv = serv
-                                                    r_wbch = vch
-                                            if use_meta:
-                                                vbud = wb_bud[ventry]
-                                                if vbud:
-                                                    vstart = (
-                                                        link_write_free
-                                                        if link_write_free
-                                                        > issue
-                                                        else issue
-                                                    )
-                                                    link_write_free = (
-                                                        vstart
-                                                        + wb_bnum[ventry]
-                                                        / link_bpc
-                                                    )
-                                                    link_write_bytes += (
-                                                        vbud
-                                                    )
-                                                    if record:
-                                                        r_wbbnum = wb_bnum[
-                                                            ventry
-                                                        ]
-                                    d2[lid] = fm
-                    d2 = l2_masks[s2]
-                    e2 = d2.get(lid)
-                    if e2 is not None:
-                        del d2[lid]
-                        d2[lid] = e2 | msk
-                        dirty = l2_dirty[s2]
-                        dirty[lid] = dirty.get(lid, 0) | msk
-                    else:
-                        if len(d2) >= l2_ways:
-                            victim = next(iter(d2))
-                            del d2[victim]
-                            dirty_mask = l2_dirty[s2].pop(victim, 0)
-                            if dirty_mask:
-                                # Writeback (dirty eviction).
-                                if ideal:
-                                    num = wb_ideal_bytes[dirty_mask]
-                                    serv = wb_ideal_serv[dirty_mask]
-                                else:
-                                    ventry = victim % entries
-                                    num = wb_dev[ventry]
-                                    serv = wb_serv[ventry]
-                                if num:
-                                    vch = victim % channels
-                                    vrow = victim * line_bytes // row_bytes
-                                    vbk = vch * banks + vrow % banks
-                                    if open_rows[vbk] == vrow:
-                                        serv = serv + row_hit_ov
-                                        dram_row_hits += 1
-                                    else:
-                                        serv = serv + row_miss_ov
-                                        open_rows[vbk] = vrow
-                                    vfree = next_free[vch]
-                                    vstart = (
-                                        vfree if vfree > issue else issue
-                                    )
-                                    next_free[vch] = vstart + serv
-                                    dram_bytes += num
-                                    dram_requests += 1
-                                    if record:
-                                        r_wbserv = serv
-                                        r_wbch = vch
-                                if use_meta:
-                                    vbud = wb_bud[victim % entries]
-                                    if vbud:
-                                        vstart = (
-                                            link_write_free
-                                            if link_write_free > issue
-                                            else issue
-                                        )
-                                        link_write_free = (
-                                            vstart
-                                            + wb_bnum[victim % entries]
-                                            / link_bpc
-                                        )
-                                        link_write_bytes += vbud
-                                        if record:
-                                            r_wbbnum = wb_bnum[
-                                                victim % entries
-                                            ]
-                        d2[lid] = msk
-                        l2_dirty[s2][lid] = msk
-                    next_ready = issue + interval
-                    if record:
-                        if r_fill:
-                            tappend((
-                                6, w, sm, r_serv, r_ch, r_mmiss, r_mserv,
-                                r_mch, r_bnum, r_wbserv, r_wbch, r_wbbnum,
-                            ))
-                        elif r_wbserv or r_wbbnum:
-                            tappend((
-                                5, w, sm, r_wbserv, r_wbch, r_wbbnum,
-                            ))
-                        else:
-                            tappend((4, w, sm))
-                elif code == 3:  # _HOST_LOAD
-                    sm_free[sm] = issue + interval
-                    hbytes, hnum = host_rows[i]
-                    start = (
-                        link_read_free if link_read_free > issue else issue
-                    )
-                    end = start + hnum / link_bpc
-                    link_read_free = end
-                    link_read_bytes += hbytes
-                    done = end + link_lat
-                    if record:
-                        tappend((3, w, sm, hnum))
-                    out = outstanding[w]
-                    out.append(done)
-                    head = out_heads[w]
-                    if len(out) - head >= warp_mlp[w]:
-                        next_ready = out[head]
-                        out_heads[w] = head + 1
-                    else:
-                        next_ready = issue + interval
-                else:  # _HOST_STORE: fire-and-forget remote write
-                    sm_free[sm] = issue + interval
-                    hbytes, hnum = host_rows[i]
-                    start = (
-                        link_write_free if link_write_free > issue else issue
-                    )
-                    link_write_free = start + hnum / link_bpc
-                    link_write_bytes += hbytes
-                    next_ready = issue + interval
-                    if record:
-                        tappend((7, w, sm, hnum))
-
-                sequence += 1
-                continuation = (next_ready, sequence, w)
-                if heap:
-                    # A continuation that precedes the whole heap is
-                    # the next event by construction — skip the sift.
-                    if continuation < heap[0]:
-                        event = continuation
-                    else:
-                        event = pushpop(heap, continuation)
-                else:
-                    event = continuation
-        finally:
-            if gc_was_enabled:
-                gc.enable()
+        counters, tape_cols = _event_core.run_exact(
+            arrays, iscalars, fscalars, record,
+            geo_cache=geometry.rows_cache,
+            state_cache=columns.rows_cache,
+        )
+        (
+            cycles, l1_hits, l1_misses, l2_hits, l2_misses, dram_bytes,
+            link_read_bytes, link_write_bytes, meta_hits, meta_misses,
+            buddy_fills, demand_fills,
+        ) = counters
 
         if record:
-            _tape.warp_mlp = warp_mlp
+            _tape.cols = tape_cols
+            _tape.warp_mlp = geometry.warp_mlp
             _tape.warp_count = warp_count
             _tape.sm_count = config.sm_count
-            _tape.channels = channels
-            _tape.fill_tail = fill_tail
+            _tape.channels = config.dram_channels
+            _tape.fill_tail = float(fill_tail)
 
-        # -- drain + result -------------------------------------------
-        cycles = max(
-            finish,
-            max(next_free),
-            link_read_free,
-            link_write_free,
-            max(sm_free),
-        )
         l1_total = l1_hits + l1_misses
         l2_total = l2_hits + l2_misses
         meta_total = meta_hits + meta_misses
@@ -1162,226 +631,18 @@ def _replay_tape(tape: _Tape, config) -> float:
     reproduces the exact engine's cycle count bit for bit (the replay
     uses the same float operations in the same order).
     """
-    interval = config.issue_interval
-    dram_lat = config.dram_latency
-    arrival_lat = config.l2_latency
-    link_bpc = config.link.bytes_per_cycle(config.clock_hz)
-    link_lat = config.link.latency_cycles
-    fill_tail = tape.fill_tail
-
-    next_free = [0.0] * tape.channels
-    sm_free = [0.0] * tape.sm_count
-    link_read_free = 0.0
-    link_write_free = 0.0
-    warp_count = tape.warp_count
-    warp_mlp = tape.warp_mlp
-    ready = [0.0] * warp_count
-    outstanding: list[list] = [[] for _ in range(warp_count)]
-    out_heads = [0] * warp_count
-    finish = 0.0
-
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        for row in tape.events:
-            kind = row[0]
-            if kind == 0:  # compute
-                _, w, sm, busy = row
-                r = ready[w]
-                free = sm_free[sm]
-                issue = r if r > free else free
-                t = issue + busy
-                sm_free[sm] = t
-                ready[w] = t
-            elif kind == 1:  # load, cache hit
-                _, w, sm, lat = row
-                r = ready[w]
-                free = sm_free[sm]
-                issue = r if r > free else free
-                sm_free[sm] = issue + interval
-                done = issue + lat
-                out = outstanding[w]
-                out.append(done)
-                head = out_heads[w]
-                if len(out) - head >= warp_mlp[w]:
-                    ready[w] = out[head]
-                    out_heads[w] = head + 1
-                else:
-                    ready[w] = issue + interval
-            elif kind == 2:  # load, demand fill
-                (
-                    _, w, sm, serv, ch, mmiss, mserv, mch, bnum,
-                    wbserv, wbch, wbbnum,
-                ) = row
-                r = ready[w]
-                free = sm_free[sm]
-                issue = r if r > free else free
-                sm_free[sm] = issue + interval
-                arrival = issue + arrival_lat
-                if serv:
-                    free = next_free[ch]
-                    start = free if free > arrival else arrival
-                    end = start + serv
-                    next_free[ch] = end
-                    done = end + dram_lat
-                else:
-                    done = arrival
-                meta_ready = arrival
-                if mmiss:
-                    free = next_free[mch]
-                    start = free if free > arrival else arrival
-                    end = start + mserv
-                    next_free[mch] = end
-                    meta_ready = end + dram_lat
-                    if meta_ready > done:
-                        done = meta_ready
-                if bnum:
-                    start = (
-                        link_read_free
-                        if link_read_free > meta_ready
-                        else meta_ready
-                    )
-                    end = start + bnum / link_bpc
-                    link_read_free = end
-                    t = end + link_lat
-                    if t > done:
-                        done = t
-                if wbserv:
-                    free = next_free[wbch]
-                    start = free if free > arrival else arrival
-                    next_free[wbch] = start + wbserv
-                if wbbnum:
-                    start = (
-                        link_write_free
-                        if link_write_free > arrival
-                        else arrival
-                    )
-                    link_write_free = start + wbbnum / link_bpc
-                done = done + fill_tail
-                out = outstanding[w]
-                out.append(done)
-                head = out_heads[w]
-                if len(out) - head >= warp_mlp[w]:
-                    ready[w] = out[head]
-                    out_heads[w] = head + 1
-                else:
-                    ready[w] = issue + interval
-            elif kind == 4:  # store, no memory-system timing
-                _, w, sm = row
-                r = ready[w]
-                free = sm_free[sm]
-                issue = r if r > free else free
-                sm_free[sm] = issue + interval
-                ready[w] = issue + interval
-            elif kind == 5:  # store with dirty-eviction writeback
-                _, w, sm, wbserv, wbch, wbbnum = row
-                r = ready[w]
-                free = sm_free[sm]
-                issue = r if r > free else free
-                sm_free[sm] = issue + interval
-                if wbserv:
-                    free = next_free[wbch]
-                    start = free if free > issue else issue
-                    next_free[wbch] = start + wbserv
-                if wbbnum:
-                    start = (
-                        link_write_free
-                        if link_write_free > issue
-                        else issue
-                    )
-                    link_write_free = start + wbbnum / link_bpc
-                ready[w] = issue + interval
-            elif kind == 6:  # store with read-modify-write fill
-                (
-                    _, w, sm, serv, ch, mmiss, mserv, mch, bnum,
-                    wbserv, wbch, wbbnum,
-                ) = row
-                r = ready[w]
-                free = sm_free[sm]
-                issue = r if r > free else free
-                sm_free[sm] = issue + interval
-                if serv:
-                    free = next_free[ch]
-                    start = free if free > issue else issue
-                    next_free[ch] = start + serv
-                meta_ready = issue
-                if mmiss:
-                    free = next_free[mch]
-                    start = free if free > issue else issue
-                    end = start + mserv
-                    next_free[mch] = end
-                    meta_ready = end + dram_lat
-                if bnum:
-                    start = (
-                        link_read_free
-                        if link_read_free > meta_ready
-                        else meta_ready
-                    )
-                    link_read_free = start + bnum / link_bpc
-                if wbserv:
-                    free = next_free[wbch]
-                    start = free if free > issue else issue
-                    next_free[wbch] = start + wbserv
-                if wbbnum:
-                    start = (
-                        link_write_free
-                        if link_write_free > issue
-                        else issue
-                    )
-                    link_write_free = start + wbbnum / link_bpc
-                ready[w] = issue + interval
-            elif kind == 3:  # host load over the link
-                _, w, sm, hnum = row
-                r = ready[w]
-                free = sm_free[sm]
-                issue = r if r > free else free
-                sm_free[sm] = issue + interval
-                start = (
-                    link_read_free if link_read_free > issue else issue
-                )
-                end = start + hnum / link_bpc
-                link_read_free = end
-                done = end + link_lat
-                out = outstanding[w]
-                out.append(done)
-                head = out_heads[w]
-                if len(out) - head >= warp_mlp[w]:
-                    ready[w] = out[head]
-                    out_heads[w] = head + 1
-                else:
-                    ready[w] = issue + interval
-            elif kind == 7:  # host store over the link
-                _, w, sm, hnum = row
-                r = ready[w]
-                free = sm_free[sm]
-                issue = r if r > free else free
-                sm_free[sm] = issue + interval
-                start = (
-                    link_write_free if link_write_free > issue else issue
-                )
-                link_write_free = start + hnum / link_bpc
-                ready[w] = issue + interval
-            else:  # warp end
-                w = row[1]
-                out = outstanding[w]
-                head = out_heads[w]
-                if len(out) > head:
-                    last = max(out[head:])
-                    if last > finish:
-                        finish = last
-                r = ready[w]
-                if r > finish:
-                    finish = r
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-
-    return max(
-        finish,
-        max(next_free),
-        link_read_free,
-        link_write_free,
-        max(sm_free),
+    return _event_core.replay_tape(
+        tape.cols,
+        tape.warp_mlp,
+        (tape.warp_count, tape.sm_count, tape.channels),
+        (
+            config.issue_interval,
+            float(config.dram_latency),
+            float(config.l2_latency),
+            config.link.bytes_per_cycle(config.clock_hz),
+            float(config.link.latency_cycles),
+            tape.fill_tail,
+        ),
     )
 
 

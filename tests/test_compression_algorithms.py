@@ -29,6 +29,19 @@ blocks_strategy = hnp.arrays(
 small_blocks = hnp.arrays(
     np.uint32, (WORDS_PER_ENTRY,), elements=st.integers(0, 300)
 )
+# Words sharing high bytes: exercises every C-PACK dictionary
+# comparator (full / 3-byte / 2-byte), FIFO wraparound, and — via
+# hi == 0 — active words below 0x10000 whose high-2-byte pattern
+# equals an unwritten dictionary slot's.
+dict_heavy_blocks = hnp.arrays(
+    np.uint32,
+    (WORDS_PER_ENTRY,),
+    elements=st.builds(
+        lambda hi, lo: (hi << 16) | lo,
+        st.integers(0, 3),
+        st.integers(0, 2**16 - 1),
+    ),
+)
 
 
 class TestBDI:
@@ -146,6 +159,19 @@ class TestCPack:
     @settings(max_examples=100, deadline=None)
     def test_size_bounds(self, block):
         assert 1 <= CPACK.compressed_size(block) <= MEMORY_ENTRY_BYTES
+
+    @given(
+        st.lists(
+            st.one_of(blocks_strategy, small_blocks, dict_heavy_blocks),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vectorised_matches_scalar(self, blocks):
+        stacked = np.stack(blocks)
+        expected = np.array([CPACK.compressed_size(b) for b in blocks])
+        np.testing.assert_array_equal(CPACK.compressed_sizes(stacked), expected)
 
 
 class TestQuantisation:

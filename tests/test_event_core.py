@@ -1,0 +1,364 @@
+"""Compiled-vs-fallback contract of the exact-order event core.
+
+``repro/gpusim/_event_core.py`` dispatches between the optional C
+extension and the pure-Python loop.  The two must be **bit-identical**
+on every observable — counters, cycles, and the recorded tape columns
+— because engine results are digest-pinned and the compiled core must
+never become a cache axis.  These tests fuzz that identity across all
+compression modes and engines, pin the compacted tape round-trip
+against the legacy oracle, and assert the tape-memory reduction over
+the historical list-of-tuples representation.
+
+When the extension is unavailable (or ``REPRO_NO_EXT=1``), the
+equivalence tests skip and the fallback-only tests still run — CI
+exercises both configurations.
+"""
+
+import json
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.entry import TargetRatio
+from repro.gpusim import (
+    REFERENCE_LINK_GBPS,
+    CompressionMode,
+    CompressionState,
+    DependencyDrivenSimulator,
+    KernelTrace,
+    VectorizedSimulator,
+    WarpTrace,
+    scaled_config,
+)
+from repro.gpusim import _event_core
+from repro.gpusim.trace import Op
+from repro.gpusim.vector_sim import _replay_tape, _resolve_tape, _TAPE_MEMO
+from repro.workloads.snapshots import SnapshotConfig
+from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
+
+needs_ext = pytest.mark.skipif(
+    not _event_core.compiled_active(),
+    reason="compiled event core not active (build_ext or REPRO_NO_EXT=1)",
+)
+
+SMALL_TRACE = TraceConfig(
+    sm_count=4,
+    warps_per_sm=8,
+    memory_instructions_per_warp=24,
+    snapshot_config=SnapshotConfig(
+        scale=1.0 / 16384, min_footprint_bytes=256 * 1024
+    ),
+)
+SMALL_GPU = scaled_config(sm_count=4, warps_per_sm=8)
+
+RESULT_FIELDS = (
+    "cycles",
+    "instructions",
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "dram_bytes",
+    "link_bytes",
+    "metadata_hit_rate",
+    "buddy_fills",
+    "demand_fills",
+)
+
+
+def small_state(name, mode, trace):
+    if mode is CompressionMode.IDEAL:
+        return CompressionState.ideal(trace.footprint_bytes)
+    snapshot = layout_snapshot(name, SMALL_TRACE)
+    selection = {a.name: TargetRatio.X2 for a in snapshot.allocations}
+    return CompressionState.from_snapshot(snapshot, selection, mode)
+
+
+def fuzz_trace(seed, n=1024):
+    """Random unit trace incl. degenerate 0-sector and 0-cycle rows."""
+    rng = np.random.default_rng(seed)
+    warps = []
+    for w in range(8):
+        instructions = []
+        for _ in range(96):
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                instructions.append(
+                    (int(Op.COMPUTE), int(rng.integers(0, 20)), 0)
+                )
+            else:
+                address = int(rng.integers(0, n * 128))
+                sectors = int(rng.integers(0, 5))
+                op = Op.LOAD if kind == 1 else Op.STORE
+                instructions.append((int(op), address, sectors))
+        warps.append(
+            WarpTrace(
+                w % 2, instructions, max_outstanding=int(rng.integers(1, 6))
+            )
+        )
+    return KernelTrace("fuzz", warps, n * 128), rng
+
+
+def fuzz_state(mode, rng, trace, n=1024):
+    if mode is CompressionMode.IDEAL:
+        return CompressionState.ideal(trace.footprint_bytes)
+    sectors = rng.integers(1, 5, n).astype(np.int8)
+    budgets = rng.integers(0, 5, n).astype(np.int8)
+    zero_fit = rng.random(n) < 0.2
+    return CompressionState(mode, sectors, budgets, zero_fit)
+
+
+def run_both_cores(trace, state, config):
+    """One vectorized run per core; returns (compiled, python) results."""
+    compiled = VectorizedSimulator(config).run(trace, state)
+    with _event_core.force_python():
+        fallback = VectorizedSimulator(config).run(trace, state)
+    return compiled, fallback
+
+
+# ---------------------------------------------------------------------------
+# Dispatch plumbing.
+# ---------------------------------------------------------------------------
+class TestDispatch:
+    def test_describe_shape(self):
+        info = _event_core.describe()
+        assert info["event_core"] in ("compiled", "python")
+        assert set(info) == {
+            "event_core",
+            "extension_available",
+            "extension_abi",
+            "forced_python",
+            "detail",
+        }
+        assert info["extension_abi"] == _event_core.EXT_ABI
+
+    @needs_ext
+    def test_extension_abi_matches(self):
+        assert _event_core._ext.ABI == _event_core.EXT_ABI
+
+    @needs_ext
+    def test_force_python_restores(self):
+        assert _event_core.compiled_active()
+        with _event_core.force_python():
+            assert not _event_core.compiled_active()
+            assert _event_core.describe()["event_core"] == "python"
+        assert _event_core.compiled_active()
+
+
+# ---------------------------------------------------------------------------
+# Compiled == pure-Python, bit for bit.
+# ---------------------------------------------------------------------------
+@needs_ext
+class TestCompiledMatchesPython:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fuzzed_unit_traces_all_modes(self, seed):
+        """Fuzzed streams agree across cores — and with the legacy
+        oracle, closing the mode x engine matrix."""
+        trace, rng = fuzz_trace(seed)
+        config = scaled_config(sm_count=2, warps_per_sm=4)
+        for mode in CompressionMode:
+            state = fuzz_state(mode, rng, trace)
+            compiled, fallback = run_both_cores(trace, state, config)
+            legacy = DependencyDrivenSimulator(config, engine="legacy").run(
+                trace, state
+            )
+            for field in RESULT_FIELDS:
+                value = getattr(compiled, field)
+                assert value == getattr(fallback, field), field
+                assert value == getattr(legacy, field), field
+
+    def test_host_region_trace(self):
+        footprint = 1 << 20
+        stores = [(int(Op.STORE), footprint + 128 * i, 4) for i in range(64)]
+        loads = [(int(Op.LOAD), footprint + 128 * i, 2) for i in range(32)]
+        warps = [
+            WarpTrace(0, stores, max_outstanding=1),
+            WarpTrace(0, loads, max_outstanding=2),
+        ]
+        trace = KernelTrace("unit", warps, footprint, host_traffic_fraction=0.5)
+        config = scaled_config(sm_count=1, warps_per_sm=2, link_gbps=50)
+        compiled, fallback = run_both_cores(
+            trace, CompressionState.ideal(footprint), config
+        )
+        assert compiled.link_bytes > 0
+        for field in RESULT_FIELDS:
+            assert getattr(compiled, field) == getattr(fallback, field), field
+
+    def test_partial_store_rmw_path(self):
+        n = 4096
+        instructions = [
+            (int(Op.STORE), (i * 128) % (n * 128), 1) for i in range(512)
+        ]
+        warps = [WarpTrace(0, instructions, max_outstanding=4)]
+        trace = KernelTrace("unit", warps, n * 128)
+        state = CompressionState(
+            CompressionMode.BUDDY,
+            np.full(n, 4, dtype=np.int8),
+            np.full(n, 2, dtype=np.int8),
+            np.zeros(n, dtype=bool),
+        )
+        config = scaled_config(sm_count=1, warps_per_sm=1)
+        compiled, fallback = run_both_cores(trace, state, config)
+        assert compiled.demand_fills > 0
+        for field in RESULT_FIELDS:
+            assert getattr(compiled, field) == getattr(fallback, field), field
+
+    @pytest.mark.parametrize("mode", list(CompressionMode))
+    def test_recorded_tapes_are_column_identical(self, mode):
+        """Both cores record byte-identical tape columns, and each
+        core's replay of that tape gives the same cycles."""
+        trace = generate_trace("VGG16", SMALL_TRACE)
+        state = small_state("VGG16", mode, trace)
+        config = SMALL_GPU.with_link(REFERENCE_LINK_GBPS)
+
+        _TAPE_MEMO.pop(trace, None)
+        tape_c, result_c = _resolve_tape(trace, state, config, need_tape=True)
+        _TAPE_MEMO.pop(trace, None)
+        with _event_core.force_python():
+            tape_p, result_p = _resolve_tape(
+                trace, state, config, need_tape=True
+            )
+        _TAPE_MEMO.pop(trace, None)
+
+        assert result_c.cycles == result_p.cycles
+        assert tape_c.event_count == tape_p.event_count
+        for col_c, col_p in zip(tape_c.cols, tape_p.cols):
+            np.testing.assert_array_equal(np.asarray(col_c), np.asarray(col_p))
+
+        off_link = SMALL_GPU.with_link(50.0)
+        replay_c = _replay_tape(tape_c, off_link)
+        with _event_core.force_python():
+            replay_p = _replay_tape(tape_p, off_link)
+        assert replay_c == replay_p
+
+    def test_relaxed_engine_end_to_end(self):
+        trace = generate_trace("354.cg", SMALL_TRACE)
+        state = small_state("354.cg", CompressionMode.BUDDY, trace)
+        config = SMALL_GPU.with_link(50.0)
+        _TAPE_MEMO.pop(trace, None)
+        compiled = DependencyDrivenSimulator(config, "relaxed").run(
+            trace, state
+        )
+        _TAPE_MEMO.pop(trace, None)
+        with _event_core.force_python():
+            fallback = DependencyDrivenSimulator(config, "relaxed").run(
+                trace, state
+            )
+        _TAPE_MEMO.pop(trace, None)
+        for field in RESULT_FIELDS:
+            assert getattr(compiled, field) == getattr(fallback, field), field
+
+
+# ---------------------------------------------------------------------------
+# Tape compaction (runs on whichever core is active).
+# ---------------------------------------------------------------------------
+class TestTapeCompaction:
+    def record_tape(self, benchmark="VGG16", mode=CompressionMode.BUDDY):
+        trace = generate_trace(benchmark, SMALL_TRACE)
+        state = small_state(benchmark, mode, trace)
+        config = SMALL_GPU.with_link(REFERENCE_LINK_GBPS)
+        _TAPE_MEMO.pop(trace, None)
+        tape, result = _resolve_tape(trace, state, config, need_tape=True)
+        _TAPE_MEMO.pop(trace, None)
+        return trace, state, config, tape, result
+
+    def test_round_trip_replay_matches_legacy(self):
+        """record -> compact arrays -> replay == the legacy oracle at
+        the recording link (exactly, not within tolerance)."""
+        trace, state, config, tape, result = self.record_tape()
+        legacy = DependencyDrivenSimulator(config, engine="legacy").run(
+            trace, state
+        )
+        assert _replay_tape(tape, config) == legacy.cycles == result.cycles
+
+    def test_tape_stores_columns_not_tuples(self):
+        _trace, _state, _config, tape, _result = self.record_tape()
+        assert not hasattr(tape, "events")
+        assert len(tape.cols) == 12
+        assert all(isinstance(col, np.ndarray) for col in tape.cols)
+        kinds = np.asarray(tape.cols[0])
+        assert kinds.dtype == np.int8
+        assert tape.event_count == kinds.shape[0] > 0
+        # One warp-end row per warp, in-tape.
+        assert int((kinds == 8).sum()) == tape.warp_count
+
+    def test_tape_memory_reduced_vs_tuple_events(self):
+        """Column storage stays below a strict *lower bound* on the
+        historical ``events: list[tuple]`` representation.
+
+        The bound counts only the list slot and the bare tuple object
+        per event (at the arity the old tape used for that kind), and
+        ignores the boxed float payloads the tuples also retained —
+        the real historical footprint was larger still.  Uses the
+        Fig. 11 default trace geometry — the longest tape the study
+        records.
+        """
+        config = scaled_config()
+        trace_config = TraceConfig(
+            sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
+        )
+        trace = generate_trace("VGG16", trace_config)
+        snapshot = layout_snapshot("VGG16", trace_config)
+        selection = {a.name: TargetRatio.X2 for a in snapshot.allocations}
+        state = CompressionState.from_snapshot(
+            snapshot, selection, CompressionMode.BUDDY
+        )
+        _TAPE_MEMO.pop(trace, None)
+        tape, _result = _resolve_tape(
+            trace, state, config.with_link(REFERENCE_LINK_GBPS),
+            need_tape=True,
+        )
+        _TAPE_MEMO.pop(trace, None)
+        # kind -> historical tuple arity, from the pre-compaction tape:
+        # (2,w,sm,serv,ch,mmiss,mserv,mch,bnum,wbserv,wbch,wbbnum) etc.
+        arity = {0: 4, 1: 4, 2: 12, 3: 4, 4: 3, 5: 6, 6: 12, 7: 4, 8: 2}
+        kinds = np.asarray(tape.cols[0])
+        counts = {k: int((kinds == k).sum()) for k in arity}
+        list_slot = 8
+        lower_bound = sum(
+            count * (sys.getsizeof(tuple(range(arity[k]))) + list_slot)
+            for k, count in counts.items()
+        )
+        assert tape.event_count > 50_000  # a real recording, not a toy
+        assert tape.nbytes < lower_bound
+        # ~57 B/event for the 12-column pack; pin against regressions.
+        assert tape.nbytes / tape.event_count <= 60
+
+    def test_fallback_and_compiled_agree_on_nbytes_shape(self):
+        """`nbytes`/`event_count` report the same tape geometry on
+        either core (columns differ only in memory provenance)."""
+        _trace, _state, _config, tape, _result = self.record_tape(
+            benchmark="354.cg"
+        )
+        assert tape.nbytes == sum(int(c.nbytes) for c in tape.cols)
+        per_event = tape.nbytes / tape.event_count
+        assert 40 <= per_event <= 60
+
+
+# ---------------------------------------------------------------------------
+# repro doctor.
+# ---------------------------------------------------------------------------
+class TestDoctorCLI:
+    def test_text_report(self, capsys, tmp_path):
+        assert main(["doctor", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "event core:" in out
+        assert ("compiled" in out) or ("python" in out)
+        assert "numpy:" in out
+        assert str(tmp_path) in out
+
+    def test_json_report(self, capsys, tmp_path):
+        assert main(["doctor", "--json", "--cache-dir", str(tmp_path)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["event_core"]["event_core"] in ("compiled", "python")
+        assert info["event_core"]["extension_abi"] == _event_core.EXT_ABI
+        assert info["numpy"] == np.__version__
+        assert info["cache"]["root"] == str(tmp_path)
+
+    def test_doctor_reflects_active_core(self, capsys, tmp_path):
+        expected = (
+            "compiled" if _event_core.compiled_active() else "python"
+        )
+        assert main(["doctor", "--json", "--cache-dir", str(tmp_path)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["event_core"]["event_core"] == expected
