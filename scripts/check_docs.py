@@ -1,118 +1,32 @@
 """Documentation consistency checker (CI `docs` job; tier-1 test).
 
-Docs rot in three ways this catches mechanically:
-
-* a relative link in README.md or docs/*.md stops resolving (file
-  moved or renamed);
-* a documented `repro run <experiment>` name drifts from the
-  experiment registry;
-* a digest quoted in the docs (the golden dual-engine and relaxed
-  Fig. 11 digests) falls out of sync with the value the tests
-  actually pin.
-
-Run it directly (`python scripts/check_docs.py`) or through
-`tests/test_docs.py`, which wraps the same checks so the tier-1 suite
-enforces them locally too.
+Thin shim over the static analyzer's ``docs-sync`` pass
+(:mod:`repro.statics.docs_sync`), kept so the historical entry points
+keep working: run it directly (``python scripts/check_docs.py``) or
+through ``tests/test_docs.py``, which wraps :func:`run_all_checks`.
+``python -m repro check`` runs the same pass alongside the other
+invariant checks.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Markdown files whose relative links must resolve.
-DOC_FILES = (
-    "README.md",
-    "docs/architecture.md",
-    "docs/engines.md",
-    "docs/planner.md",
-)
-
-#: Links README must carry (the docs' front doors).
-REQUIRED_README_LINKS = (
-    "docs/architecture.md",
-    "docs/engines.md",
-    "docs/planner.md",
-)
-
-_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
-_RUN_NAME = re.compile(r"repro run ([a-z_]+\.[a-z0-9_]+)")
-_DIGEST = re.compile(r"\b[0-9a-f]{32}\b")
-#: Abbreviated digests in prose, e.g. "36fffebd…" / "282a94e8...".
-_SHORT_DIGEST = re.compile(r"\b([0-9a-f]{8})(?:…|\.\.\.)")
-
-
-def check_links() -> list[str]:
-    """Every relative markdown link resolves to a real file."""
-    errors = []
-    for name in DOC_FILES:
-        doc = REPO_ROOT / name
-        for target in _LINK.findall(doc.read_text()):
-            if "://" in target:  # external URL, not checked offline
-                continue
-            resolved = (doc.parent / target).resolve()
-            if not resolved.exists():
-                errors.append(f"{name}: broken link -> {target}")
-    return errors
-
-
-def check_readme_links_docs() -> list[str]:
-    readme = (REPO_ROOT / "README.md").read_text()
-    return [
-        f"README.md does not link {required}"
-        for required in REQUIRED_README_LINKS
-        if required not in readme
-    ]
-
-
-def check_experiment_names() -> list[str]:
-    """Documented `repro run` names exist in the registry."""
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.engine import experiment_names
-
-    registered = set(experiment_names())
-    errors = []
-    for name in DOC_FILES:
-        documented = set(_RUN_NAME.findall((REPO_ROOT / name).read_text()))
-        for experiment in sorted(documented - registered):
-            errors.append(
-                f"{name}: documents unregistered experiment {experiment!r}"
-            )
-    return errors
-
-
-def check_digests() -> list[str]:
-    """Digests quoted in the docs match the ones the tests pin."""
-    pinned = set()
-    for test_file in ("tests/test_vector_sim.py", "tests/test_relaxed_sim.py"):
-        pinned.update(_DIGEST.findall((REPO_ROOT / test_file).read_text()))
-    errors = []
-    for name in DOC_FILES:
-        text = (REPO_ROOT / name).read_text()
-        for digest in _DIGEST.findall(text):
-            if digest not in pinned:
-                errors.append(
-                    f"{name}: digest {digest} is not pinned by any test"
-                )
-        for prefix in _SHORT_DIGEST.findall(text):
-            if not any(full.startswith(prefix) for full in pinned):
-                errors.append(
-                    f"{name}: abbreviated digest {prefix}… matches no "
-                    "test-pinned digest"
-                )
-    return errors
-
 
 def run_all_checks() -> list[str]:
-    return (
-        check_links()
-        + check_readme_links_docs()
-        + check_experiment_names()
-        + check_digests()
-    )
+    """Every docs-sync finding, rendered as one string each."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.statics.docs_sync import check_docs
+    from repro.statics.framework import Context
+
+    ctx = Context(REPO_ROOT, REPO_ROOT / "src")
+    return [
+        f"{finding.path}:{finding.line}: {finding.message}"
+        for finding in check_docs(ctx)
+    ]
 
 
 def main() -> int:
@@ -120,6 +34,9 @@ def main() -> int:
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if not errors:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.statics.docs_sync import DOC_FILES
+
         print(f"docs OK ({', '.join(DOC_FILES)})")
     return 1 if errors else 0
 

@@ -32,21 +32,48 @@ from repro.engine.registry import Experiment, register
 #: Modules every study's results depend on (workload substrate).
 _SUBSTRATE_MODULES = (
     "repro.rng",
+    "repro.units",
     "repro.workloads.calibration",
     "repro.workloads.catalog",
     "repro.workloads.snapshots",
     "repro.workloads.valuemodels",
 )
 
-#: Additional modules behind the Buddy static pipeline.
+#: Additional modules behind the Buddy static pipeline (the BPC codec
+#: with its encoder substrate, and the controller with its allocator
+#: and entry layout).
 _PIPELINE_MODULES = _SUBSTRATE_MODULES + (
+    "repro.compression.base",
+    "repro.compression.bitio",
     "repro.compression.bpc",
     "repro.compression.sectors",
+    "repro.core.allocator",
     "repro.core.controller",
+    "repro.core.entry",
     "repro.core.histogram",
     "repro.core.profile_tensor",
     "repro.core.profiler",
     "repro.core.targets",
+)
+
+#: The comparison codecs the free-size compression study sweeps
+#: (Fig. 3's codec shoot-out); only compression.* experiments reach
+#: them.
+_CODEC_COMPARISON_MODULES = (
+    "repro.compression.bdi",
+    "repro.compression.cpack",
+    "repro.compression.fpc",
+    "repro.compression.zeroblock",
+)
+
+#: The DL-training analytics stack behind dl.ratios / dl.fig13.
+_DLMODEL_MODULES = (
+    "repro.dlmodel.casestudy",
+    "repro.dlmodel.convergence",
+    "repro.dlmodel.layers",
+    "repro.dlmodel.memory",
+    "repro.dlmodel.networks",
+    "repro.dlmodel.throughput",
 )
 
 #: Modules behind the timing simulators.  Trace generation and the
@@ -59,10 +86,17 @@ _PIPELINE_MODULES = _SUBSTRATE_MODULES + (
 #: fallback by contract, and its C twin changes in lockstep with the
 #: salted Python source it transcribes.
 _SIMULATOR_MODULES = _SUBSTRATE_MODULES + (
+    "repro.compression.base",
+    "repro.compression.bitio",
+    "repro.compression.bpc",
+    "repro.compression.sectors",
+    "repro.core.entry",
+    "repro.core.histogram",
     "repro.core.metadata_cache",
     "repro.core.profile_tensor",
     "repro.core.profiler",
     "repro.gpusim._event_core",
+    "repro.gpusim.engine_spec",
     "repro.gpusim.cache",
     "repro.gpusim.compression",
     "repro.gpusim.config",
@@ -127,7 +161,9 @@ register(
         expand=_per_benchmark_expand,
         run_point=_fig3_point,
         aggregate=_fig3_aggregate,
-        salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+        salt_modules=_PIPELINE_MODULES
+        + _CODEC_COMPARISON_MODULES
+        + ("repro.analysis.compression_study",),
         plan_point=_fig3_plan,
     )
 )
@@ -170,7 +206,9 @@ register(
         expand=_per_benchmark_expand,
         run_point=_fig7_point,
         aggregate=_fig7_aggregate,
-        salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+        salt_modules=_PIPELINE_MODULES
+        + _CODEC_COMPARISON_MODULES
+        + ("repro.analysis.compression_study",),
         plan_point=_fig7_plan,
     )
 )
@@ -205,7 +243,9 @@ register(
         expand=_per_benchmark_expand,
         run_point=_fig8_point,
         aggregate=_keyed_by_benchmark,
-        salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+        salt_modules=_PIPELINE_MODULES
+        + _CODEC_COMPARISON_MODULES
+        + ("repro.analysis.compression_study",),
         plan_point=_fig8_plan,
     )
 )
@@ -243,7 +283,9 @@ register(
         expand=_per_benchmark_expand,
         run_point=_fig9_point,
         aggregate=_keyed_by_benchmark,
-        salt_modules=_PIPELINE_MODULES + ("repro.analysis.compression_study",),
+        salt_modules=_PIPELINE_MODULES
+        + _CODEC_COMPARISON_MODULES
+        + ("repro.analysis.compression_study",),
         plan_point=_fig9_plan,
     )
 )
@@ -293,9 +335,16 @@ register(
         salt_modules=_SUBSTRATE_MODULES
         + (
             "repro.analysis.metadata_study",
+            "repro.compression.base",
+            "repro.compression.bitio",
+            "repro.compression.bpc",
+            "repro.compression.sectors",
+            "repro.core.entry",
+            "repro.core.histogram",
             "repro.core.metadata_cache",
             "repro.core.profile_tensor",
             "repro.core.profiler",
+            "repro.gpusim.trace",
             "repro.workloads.traces",
         ),
         plan_point=_fig5b_plan,
@@ -478,6 +527,7 @@ register(
         aggregate=_fig12_aggregate,
         salt_modules=(
             "repro.rng",
+            "repro.units",
             "repro.analysis.um_study",
             "repro.um.oversubscription",
             "repro.um.pages",
@@ -536,7 +586,9 @@ register(
         expand=_dl_expand,
         run_point=_dl_ratio_point,
         aggregate=_dl_ratio_aggregate,
-        salt_modules=_PIPELINE_MODULES + ("repro.analysis.dl_study",),
+        salt_modules=_PIPELINE_MODULES
+        + _DLMODEL_MODULES
+        + ("repro.analysis.dl_study",),
         plan_point=_dl_ratio_plan,
     )
 )
@@ -570,14 +622,8 @@ register(
         run_point=_dl_ratio_point,
         aggregate=_fig13_aggregate,
         salt_modules=_PIPELINE_MODULES
-        + (
-            "repro.analysis.dl_study",
-            "repro.dlmodel.casestudy",
-            "repro.dlmodel.convergence",
-            "repro.dlmodel.memory",
-            "repro.dlmodel.networks",
-            "repro.dlmodel.throughput",
-        ),
+        + _DLMODEL_MODULES
+        + ("repro.analysis.dl_study",),
         plan_point=_dl_ratio_plan,
     )
 )

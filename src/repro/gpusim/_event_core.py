@@ -80,6 +80,7 @@ EXT_ABI = 1
 
 _ext = None
 _ext_error: str | None = None
+_ext_stale = False
 if os.environ.get("REPRO_NO_EXT"):
     _ext_error = "disabled by REPRO_NO_EXT"
 else:
@@ -93,6 +94,7 @@ else:
         if getattr(_candidate, "ABI", None) == EXT_ABI:
             _ext = _candidate
         else:
+            _ext_stale = True
             _ext_error = (
                 "stale extension build: ABI "
                 f"{getattr(_candidate, 'ABI', None)!r} != {EXT_ABI}"
@@ -113,6 +115,7 @@ def describe() -> dict:
         "event_core": "compiled" if compiled_active() else "python",
         "extension_available": _ext is not None,
         "extension_abi": EXT_ABI,
+        "extension_stale": _ext_stale,
         "forced_python": _forced_python or _ext is None,
         "detail": None if _ext is not None else _ext_error,
     }

@@ -1,0 +1,186 @@
+"""Static intra-package import graph.
+
+Builds, purely from ``ast``, the graph of ``repro.*`` modules each
+module imports — module-level and function-level imports alike (the
+experiment registry imports its study modules lazily inside the point
+functions, so function bodies matter).  The salt-completeness pass
+walks this graph from each experiment's point functions to find every
+module whose source can affect results.
+
+Two deliberate policies shape reachability:
+
+* **exempt modules are boundaries** — infrastructure like the engine
+  (cache addressing, registry, planner) is neither required in salts
+  nor traversed through; its own imports reach the entire package and
+  would drown the analysis in false positives.  Each exemption carries
+  a reason (:data:`DEFAULT_EXEMPT`).
+* **trivial package ``__init__`` files are transparent** — an
+  ``__init__`` containing only a docstring, imports and ``__all__``
+  re-exports cannot itself affect results, so it is traversed (its
+  re-exports are followed) but not required in salt lists.  An
+  ``__init__`` with real statements is treated as an ordinary module.
+
+The result is an *overapproximation*: importing a package's front door
+pulls in every module it re-exports even when only one is used.  That
+errs in the safe direction — an extra salt module can only cause a
+spurious cache invalidation, never a stale result.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.statics.framework import Context
+
+#: Modules (and their subtrees) excluded from salt requirements, with
+#: the reason each exclusion is sound.  ``repro check --json`` and
+#: docs/statics.md surface these so the exceptions stay reviewable.
+DEFAULT_EXEMPT: dict[str, str] = {
+    "repro.engine": (
+        "cache/registry/runner/planner machinery addresses results but "
+        "does not compute them; addressing changes are versioned by "
+        "CACHE_FORMAT_VERSION and planner parity is CI-enforced"
+    ),
+    "repro.api": "facade over repro.engine; same machinery boundary",
+    "repro.cli": "command-line front door; never imported by a study",
+    "repro.__main__": "module runner shim",
+    "repro.statics": "this analyzer; never imported by a study",
+    "repro.gpusim._event_core_ext": (
+        "the compiled event-core twin is deliberately not a salt axis: "
+        "it is bit-identical to the salted pure-Python core by "
+        "contract, enforced by tests/test_event_core.py and the CI "
+        "event-core digest-diff job"
+    ),
+}
+
+
+def is_exempt(module: str, exempt: dict[str, str] | tuple[str, ...]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in exempt
+    )
+
+
+def module_imports(ctx: Context, module: str) -> dict[str, int]:
+    """In-package modules ``module`` imports -> first import line.
+
+    Covers ``import a.b``, ``from a import b`` (where ``b`` may be a
+    submodule) and relative imports, anywhere in the file.
+    """
+    path = ctx.module_path(module)
+    if path is None:
+        return {}
+    known = ctx.modules()
+    is_package = path.name == "__init__.py"
+    out: dict[str, int] = {}
+
+    def add(name: str, line: int) -> None:
+        # Strip attribute tails until we hit a real module.
+        while name and name not in known:
+            name = name.rpartition(".")[0]
+        if name and name not in out:
+            out[name] = line
+
+    for node in ast.walk(ctx.tree(path)):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == ctx.package:
+                    add(alias.name, node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = module.split(".")
+                # Level 1 in a package __init__ means the package
+                # itself; elsewhere it means the parent package.
+                trim = node.level - 1 if is_package else node.level
+                if trim:
+                    parts = parts[:-trim]
+                base = ".".join(parts + ([base] if base else []))
+            if base.split(".")[0] != ctx.package:
+                continue
+            submodules = [
+                f"{base}.{alias.name}"
+                for alias in node.names
+                if f"{base}.{alias.name}" in known
+            ]
+            # ``from pkg import submodule`` binds the submodule; only
+            # when a name is an attribute of the package __init__ does
+            # the __init__ itself become a dependency.
+            if len(submodules) < len(node.names):
+                add(base, node.lineno)
+            for candidate in submodules:
+                add(candidate, node.lineno)
+    return out
+
+
+def is_transparent_init(ctx: Context, module: str) -> bool:
+    """Whether ``module`` is a re-export-only package ``__init__``."""
+    path = ctx.module_path(module)
+    if path is None or path.name != "__init__.py":
+        return False
+    for node in ctx.tree(path).body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+            continue  # docstring
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id.startswith("__")
+            and isinstance(node.value, (ast.Constant, ast.List, ast.Tuple))
+        ):
+            continue  # __all__, __version__ and similar metadata
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class Reach:
+    """Reachability result: module -> shortest import chain."""
+
+    chains: dict[str, tuple[str, ...]]
+
+    def chain(self, module: str) -> str:
+        return " -> ".join(self.chains.get(module, (module,)))
+
+
+def reachable(
+    ctx: Context,
+    roots: dict[str, int] | list[str],
+    exempt: dict[str, str] | tuple[str, ...] = (),
+) -> Reach:
+    """All in-package modules transitively imported from ``roots``.
+
+    Exempt modules terminate traversal: they are recorded as reached
+    (so dead-entry detection can see them) but their imports are not
+    followed.
+    """
+    chains: dict[str, tuple[str, ...]] = {}
+    queue = [(module, (module,)) for module in sorted(roots)]
+    while queue:
+        module, chain = queue.pop(0)
+        if module in chains:
+            continue
+        chains[module] = chain
+        if is_exempt(module, exempt):
+            continue
+        for imported in sorted(module_imports(ctx, module)):
+            if imported not in chains:
+                queue.append((imported, chain + (imported,)))
+    return Reach(chains)
+
+
+def salt_relevant(
+    ctx: Context,
+    reach: Reach,
+    exempt: dict[str, str] | tuple[str, ...],
+) -> set[str]:
+    """The reached modules that must appear in a salt list."""
+    return {
+        module
+        for module in reach.chains
+        if not is_exempt(module, exempt)
+        and not is_transparent_init(ctx, module)
+    }

@@ -1,0 +1,310 @@
+"""The ``salt-completeness`` pass.
+
+Every experiment's cached results are addressed by ``(params,
+code_salt)``, where the salt hashes the source of the modules listed
+in its ``salt_modules`` tuple (:func:`repro.engine.cache.code_salt`).
+A module that can affect results but is missing from the tuple means
+an edit to it silently serves stale cached figures — the worst bug
+class this reproduction can have.
+
+This pass closes the loop statically.  It parses the experiment
+registration module with ``ast`` (no imports are executed):
+
+* every ``register(Experiment(...))`` call yields the experiment
+  name, the constant-folded ``salt_modules`` tuple and the names of
+  its ``run_point`` / ``plan_point`` functions;
+* the in-package imports inside those functions seed a walk of the
+  static import graph (:mod:`repro.statics.imports`), pruned at the
+  documented infrastructure exemptions;
+* any reached, salt-relevant module absent from ``salt_modules`` is a
+  ``salt-missing`` error (the message shows the import chain), a
+  declared module that is not reachable is a ``salt-dead`` warning,
+  and a declared module that does not exist is a ``salt-unknown``
+  error (a rename would otherwise break ``code_salt`` at runtime).
+
+The compiled event-core extension is the deliberate exception: the
+build is **not** a cache axis (bit-identical to the salted fallback by
+contract), encoded as the ``repro.gpusim._event_core_ext`` entry of
+:data:`repro.statics.imports.DEFAULT_EXEMPT`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.statics.framework import Context, Finding, Pass, Severity
+from repro.statics.imports import (
+    DEFAULT_EXEMPT,
+    is_exempt,
+    reachable,
+    salt_relevant,
+)
+
+#: Module whose ``register(Experiment(...))`` calls declare the salts.
+EXPERIMENTS_MODULE = "repro.engine.experiments"
+
+#: Experiment keywords whose functions' imports seed reachability.
+#: ``run_point`` computes the cached value; ``plan_point`` declares
+#: the planner specs whose artifact digests must agree with it.
+#: (``expand``/``aggregate`` run fresh on every invocation and cannot
+#: go stale, and ``defaults`` feed the *param* half of the key.)
+ROOT_KEYWORDS = ("run_point", "plan_point")
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One statically-parsed ``register(Experiment(...))`` call."""
+
+    name: str
+    line: int  #: line of the ``salt_modules=`` keyword
+    salt_modules: tuple[str, ...]
+    root_functions: tuple[str, ...]
+
+
+class RegistrationParseError(ValueError):
+    """The experiments module does not match the expected shape."""
+
+
+def _fold_tuple(node: ast.expr, constants: dict[str, ast.expr]) -> tuple[str, ...]:
+    """Evaluate a tuple-of-strings expression (Name / + / literal)."""
+    if isinstance(node, ast.Tuple):
+        values = []
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                raise RegistrationParseError(
+                    f"line {node.lineno}: non-constant salt entry"
+                )
+            values.append(element.value)
+        return tuple(values)
+    if isinstance(node, ast.Name):
+        if node.id not in constants:
+            raise RegistrationParseError(
+                f"line {node.lineno}: unknown salt constant {node.id!r}"
+            )
+        return _fold_tuple(constants[node.id], constants)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _fold_tuple(node.left, constants) + _fold_tuple(
+            node.right, constants
+        )
+    raise RegistrationParseError(
+        f"line {node.lineno}: unsupported salt_modules expression"
+    )
+
+
+def parse_registrations(
+    ctx: Context, experiments_module: str = EXPERIMENTS_MODULE
+) -> list[Registration]:
+    """Statically extract every registration from the module."""
+    path = ctx.module_path(experiments_module)
+    if path is None:
+        raise RegistrationParseError(
+            f"experiments module {experiments_module!r} not found"
+        )
+    tree = ctx.tree(path)
+    constants: dict[str, ast.expr] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            constants[node.targets[0].id] = node.value
+
+    registrations = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "register"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+        ):
+            continue
+        keywords = {kw.arg: kw.value for kw in node.args[0].keywords}
+        name_node = keywords.get("name")
+        salt_node = keywords.get("salt_modules")
+        if not isinstance(name_node, ast.Constant) or salt_node is None:
+            raise RegistrationParseError(
+                f"line {node.lineno}: registration without constant "
+                "name= or without salt_modules="
+            )
+        roots = tuple(
+            keywords[key].id
+            for key in ROOT_KEYWORDS
+            if isinstance(keywords.get(key), ast.Name)
+        )
+        registrations.append(
+            Registration(
+                name=name_node.value,
+                line=salt_node.lineno,
+                salt_modules=_fold_tuple(salt_node, constants),
+                root_functions=roots,
+            )
+        )
+    if not registrations:
+        raise RegistrationParseError(
+            f"no register(Experiment(...)) calls in {experiments_module}"
+        )
+    return registrations
+
+
+def function_imports(
+    ctx: Context, experiments_module: str, function_names: tuple[str, ...]
+) -> dict[str, int]:
+    """In-package modules imported inside the named functions."""
+    path = ctx.module_path(experiments_module)
+    known = ctx.modules()
+    out: dict[str, int] = {}
+    for node in ctx.tree(path).body:
+        if not (
+            isinstance(node, ast.FunctionDef)
+            and node.name in function_names
+        ):
+            continue
+        for inner in ast.walk(node):
+            modules = []
+            if isinstance(inner, ast.Import):
+                modules = [
+                    alias.name
+                    for alias in inner.names
+                    if alias.name.split(".")[0] == ctx.package
+                ]
+            elif isinstance(inner, ast.ImportFrom) and not inner.level:
+                if (inner.module or "").split(".")[0] == ctx.package:
+                    modules = [
+                        f"{inner.module}.{alias.name}"
+                        for alias in inner.names
+                        if f"{inner.module}.{alias.name}" in known
+                    ]
+                    if len(modules) < len(inner.names):
+                        modules.append(inner.module)
+            for module in modules:
+                while module and module not in known:
+                    module = module.rpartition(".")[0]
+                if module:
+                    out.setdefault(module, inner.lineno)
+    return out
+
+
+def analyze_salts(
+    ctx: Context,
+    experiments_module: str = EXPERIMENTS_MODULE,
+    exempt: dict[str, str] | None = None,
+) -> list[Finding]:
+    """Compare each registration's salts against static reachability."""
+    if exempt is None:
+        exempt = _rebased_exempt(ctx)
+    path = ctx.module_path(experiments_module)
+    rel = ctx.rel(path)
+    try:
+        registrations = parse_registrations(ctx, experiments_module)
+    except RegistrationParseError as error:
+        return [
+            Finding(
+                rule="salt-missing",
+                severity=Severity.ERROR,
+                path=rel,
+                line=0,
+                message=f"cannot analyze registrations: {error}",
+            )
+        ]
+
+    findings = []
+    for registration in registrations:
+        roots = function_imports(
+            ctx, experiments_module, registration.root_functions
+        )
+        reach = reachable(ctx, roots, exempt)
+        required = salt_relevant(ctx, reach, exempt)
+        declared = set(registration.salt_modules)
+        for module in sorted(required - declared):
+            findings.append(
+                Finding(
+                    rule="salt-missing",
+                    severity=Severity.ERROR,
+                    path=rel,
+                    line=registration.line,
+                    message=(
+                        f"experiment {registration.name!r}: module "
+                        f"{module!r} can affect results (import chain "
+                        f"{reach.chain(module)}) but is not in "
+                        "salt_modules — edits to it would serve stale "
+                        "cached results"
+                    ),
+                )
+            )
+        for module in sorted(declared - set(reach.chains)):
+            if ctx.module_path(module) is None:
+                findings.append(
+                    Finding(
+                        rule="salt-unknown",
+                        severity=Severity.ERROR,
+                        path=rel,
+                        line=registration.line,
+                        message=(
+                            f"experiment {registration.name!r}: salt "
+                            f"module {module!r} does not exist "
+                            "(renamed or removed?)"
+                        ),
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        rule="salt-dead",
+                        severity=Severity.WARNING,
+                        path=rel,
+                        line=registration.line,
+                        message=(
+                            f"experiment {registration.name!r}: salt "
+                            f"module {module!r} is not reachable from "
+                            "its point functions; the entry only "
+                            "causes spurious cache invalidations"
+                        ),
+                    )
+                )
+        for module in sorted(declared):
+            if is_exempt(module, exempt) and ctx.module_path(module) is not None:
+                findings.append(
+                    Finding(
+                        rule="salt-dead",
+                        severity=Severity.WARNING,
+                        path=rel,
+                        line=registration.line,
+                        message=(
+                            f"experiment {registration.name!r}: salt "
+                            f"module {module!r} is exempt "
+                            "infrastructure and need not be salted"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _rebased_exempt(ctx: Context) -> dict[str, str]:
+    """:data:`DEFAULT_EXEMPT` rebased onto the context's package name."""
+    if ctx.package == "repro":
+        return DEFAULT_EXEMPT
+    return {
+        ctx.package + prefix[len("repro"):]: reason
+        for prefix, reason in DEFAULT_EXEMPT.items()
+    }
+
+
+class SaltCompletenessPass(Pass):
+    name = "salt-completeness"
+    description = (
+        "every module reachable from an experiment's point functions "
+        "is in its cache salt (and every salt entry is alive)"
+    )
+    rules = ("salt-missing", "salt-dead", "salt-unknown")
+
+    def __init__(self, experiments_module: str = EXPERIMENTS_MODULE):
+        self.experiments_module = experiments_module
+
+    def run(self, ctx: Context) -> list[Finding]:
+        return analyze_salts(ctx, self.experiments_module)

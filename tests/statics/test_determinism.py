@@ -1,0 +1,156 @@
+"""determinism-lint: planted hazards in fixture modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.statics.determinism import (
+    SANCTIONED_ENV,
+    DeterminismLintPass,
+    lint_module,
+)
+from tests.statics.fixtures import fixture_context
+
+_HAZARDS = """\
+import glob
+import os
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def set_iteration(rows):
+    acc = 0
+    for row in {1, 2, 3}:
+        acc += row
+    return acc + sum(x for x in frozenset(rows))
+
+
+def materialised_set(rows):
+    return list({r.name for r in rows})
+
+
+def unsorted_listing(path):
+    return [os.path.join(path, n) for n in os.listdir(path)]
+
+
+def unsorted_glob(path):
+    return glob.glob(path + "/*.json")
+
+
+def wall_clock():
+    return time.time() + datetime.now().timestamp()
+
+
+def unseeded_random():
+    return random.random() + np.random.rand()
+
+
+def id_ordering(objects):
+    return sorted(objects, key=id)
+
+
+def env_read():
+    return os.environ["FIXPKG_SECRET_AXIS"], os.getenv("ANOTHER_ONE")
+"""
+
+_CLEAN = """\
+import os
+import random
+
+import numpy as np
+
+
+def sorted_listing(path):
+    return sorted(os.listdir(path))
+
+
+def seeded_random(seed):
+    return random.Random(seed).random() + np.random.default_rng(seed).random()
+
+
+def sorted_set(rows):
+    return sorted({r for r in rows})
+
+
+def sanctioned_env():
+    return os.environ.get("REPRO_NO_EXT"), os.getenv("REPRO_CACHE_DIR")
+"""
+
+
+def _lint(tmp_path, source):
+    ctx = fixture_context(
+        tmp_path,
+        {
+            "src/fixpkg/__init__.py": "",
+            "src/fixpkg/hazard.py": source,
+        },
+    )
+    return lint_module(ctx, "fixpkg.hazard")
+
+
+@pytest.fixture()
+def findings(tmp_path):
+    return _lint(tmp_path, _HAZARDS)
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_set_iteration_is_flagged(findings):
+    assert _rules(findings).count("det-set-iter") == 3
+
+
+def test_unsorted_directory_listings_are_flagged(findings):
+    assert _rules(findings).count("det-unsorted-dir") == 2
+
+
+def test_wall_clocks_are_flagged(findings):
+    assert _rules(findings).count("det-time") == 2
+
+
+def test_unseeded_randomness_is_flagged(findings):
+    assert _rules(findings).count("det-random") == 2
+
+
+def test_id_ordering_is_flagged(findings):
+    assert _rules(findings).count("det-id-order") == 1
+
+
+def test_unsanctioned_env_reads_are_flagged(findings):
+    env = [f for f in findings if f.rule == "det-env"]
+    assert len(env) == 2
+    assert any("FIXPKG_SECRET_AXIS" in f.message for f in env)
+
+
+def test_findings_point_at_real_lines(findings):
+    lines = {f.line for f in findings}
+    assert all(line > 0 for line in lines)
+    assert len(lines) > 5  # spread over the file, not one anchor
+
+
+def test_clean_module_has_no_findings(tmp_path):
+    assert _lint(tmp_path, _CLEAN) == []
+
+
+def test_pass_scopes_to_configured_modules(tmp_path):
+    ctx = fixture_context(
+        tmp_path,
+        {
+            "src/fixpkg/__init__.py": "",
+            "src/fixpkg/hazard.py": "import time\n\nNOW = time.time()\n",
+            "src/fixpkg/other.py": "import time\n\nTHEN = time.time()\n",
+        },
+    )
+    check = DeterminismLintPass(modules=["fixpkg.hazard"])
+    findings = check.run(ctx)
+    assert [f.rule for f in findings] == ["det-time"]
+    assert findings[0].path == "src/fixpkg/hazard.py"
+
+
+def test_sanctioned_list_is_the_documented_one():
+    assert "REPRO_NO_EXT" in SANCTIONED_ENV
+    assert "REPRO_CACHE_DIR" in SANCTIONED_ENV

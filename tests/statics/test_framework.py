@@ -1,0 +1,150 @@
+"""Pass framework: pragmas, suppression, report folding."""
+
+from __future__ import annotations
+
+from repro.statics.framework import (
+    Finding,
+    Pass,
+    Report,
+    Severity,
+    parse_pragmas,
+    run_checks,
+)
+from tests.statics.fixtures import fixture_context
+
+
+def _finding(rule="demo-rule", line=2, severity=Severity.ERROR, path="src/fixpkg/mod.py"):
+    return Finding(
+        rule=rule, severity=severity, path=path, line=line, message="planted"
+    )
+
+
+class _StaticPass(Pass):
+    name = "demo"
+    description = "emits canned findings"
+    rules = ("demo-rule", "other-rule")
+
+    def __init__(self, findings):
+        self._findings = findings
+
+    def run(self, ctx):
+        return list(self._findings)
+
+
+def test_parse_pragmas_extracts_rules_and_reasons():
+    source = (
+        "x = 1  # repro: allow[rule-a, rule-b] both are fine here\n"
+        "y = 2\n"
+        "z = 3  # repro: allow[rule-c]\n"
+    )
+    pragmas = parse_pragmas(source)
+    assert pragmas.allows[1] == frozenset({"rule-a", "rule-b"})
+    assert pragmas.allows[3] == frozenset({"rule-c"})
+    assert pragmas.missing_reason == [3]
+
+
+def test_pragma_suppresses_same_line_and_line_below():
+    pragmas = parse_pragmas("# repro: allow[rule-a] reason\nx = hazard()\n")
+    assert pragmas.suppresses("rule-a", 1)
+    assert pragmas.suppresses("rule-a", 2)
+    assert not pragmas.suppresses("rule-a", 3)
+    assert not pragmas.suppresses("rule-b", 2)
+
+
+def test_run_checks_applies_suppressions(tmp_path):
+    ctx = fixture_context(
+        tmp_path,
+        {
+            "src/fixpkg/__init__.py": "",
+            "src/fixpkg/mod.py": (
+                "a = 1\n"
+                "b = 2  # repro: allow[demo-rule] known-good here\n"
+                "c = 3\n"
+            ),
+        },
+    )
+    # The pragma on line 2 covers its own line (and, by design, the
+    # line below); the finding on line 1 stays live.
+    check = _StaticPass([_finding(line=2), _finding(line=1)])
+    report = run_checks(ctx, [check])
+    assert [f.suppressed for f in report.findings] == [False, True]
+    assert report.errors == 1
+    assert report.suppressed == 1
+    # Suppressed findings do not count against the pass either.
+    assert report.passes[0].findings == 1
+
+
+def test_bare_pragma_is_itself_reported(tmp_path):
+    ctx = fixture_context(
+        tmp_path,
+        {
+            "src/fixpkg/__init__.py": "",
+            "src/fixpkg/mod.py": "b = 2  # repro: allow[demo-rule]\n",
+        },
+    )
+    report = run_checks(ctx, [_StaticPass([])])
+    (finding,) = report.findings
+    assert finding.rule == "statics-pragma"
+    assert finding.severity is Severity.ERROR
+    assert finding.path == "src/fixpkg/mod.py"
+    assert finding.line == 1
+
+
+def test_report_strictness_semantics():
+    warning = _finding(severity=Severity.WARNING)
+    error = _finding()
+
+    clean = Report(findings=[], passes=[])
+    assert clean.ok() and clean.ok(strict=True)
+
+    warned = Report(findings=[warning], passes=[])
+    assert warned.ok() and not warned.ok(strict=True)
+    assert warned.summary() == {
+        "errors": 0,
+        "warnings": 1,
+        "suppressed": 0,
+        "ok": True,
+        "strict_ok": False,
+    }
+
+    failed = Report(findings=[error], passes=[])
+    assert not failed.ok() and not failed.ok(strict=True)
+
+
+def test_findings_sort_by_location(tmp_path):
+    ctx = fixture_context(
+        tmp_path,
+        {
+            "src/fixpkg/__init__.py": "",
+            "src/fixpkg/a.py": "x = 1\n",
+            "src/fixpkg/b.py": "y = 2\n",
+        },
+    )
+    check = _StaticPass(
+        [
+            _finding(path="src/fixpkg/b.py", line=1),
+            _finding(path="src/fixpkg/a.py", line=9),
+            _finding(path="src/fixpkg/a.py", line=1),
+        ]
+    )
+    report = run_checks(ctx, [check])
+    assert [(f.path, f.line) for f in report.findings] == [
+        ("src/fixpkg/a.py", 1),
+        ("src/fixpkg/a.py", 9),
+        ("src/fixpkg/b.py", 1),
+    ]
+
+
+def test_finding_render_and_json_round_trip():
+    finding = _finding(severity=Severity.WARNING)
+    assert finding.render() == (
+        "src/fixpkg/mod.py:2: [warning] demo-rule: planted"
+    )
+    assert finding.to_json() == {
+        "rule": "demo-rule",
+        "severity": "warning",
+        "path": "src/fixpkg/mod.py",
+        "line": 2,
+        "message": "planted",
+        "suppressed": False,
+    }

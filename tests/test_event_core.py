@@ -127,10 +127,12 @@ class TestDispatch:
             "event_core",
             "extension_available",
             "extension_abi",
+            "extension_stale",
             "forced_python",
             "detail",
         }
         assert info["extension_abi"] == _event_core.EXT_ABI
+        assert info["extension_stale"] is False
 
     @needs_ext
     def test_extension_abi_matches(self):
