@@ -1,0 +1,142 @@
+"""Batched-replay build parity check (CI `event-core` job).
+
+Records one real relaxed tape, replays a multi-link sweep through
+`replay_tape_many` on the compiled event core and again under
+`force_python()`, and enforces the batched replay's two load-bearing
+guarantees in one process:
+
+* **batched == serial** — the one-pass multi-link replay returns, per
+  link, exactly the cycles of a serial `replay_tape` loop;
+* **compiled == fallback** — the digest over the batched cycle vector
+  is byte-identical across builds, so the compiled core can never
+  become a cache axis.
+
+Run directly (`python scripts/check_replay_batch.py`); exits non-zero
+on the first violation.  Without the compiled extension the serial
+identity still runs and the cross-build diff degrades to
+fallback-vs-fallback (reported, not failed — the test matrix covers
+the pure-Python leg separately).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.entry import TargetRatio  # noqa: E402
+from repro.gpusim import (  # noqa: E402
+    REFERENCE_LINK_GBPS,
+    CompressionMode,
+    CompressionState,
+    scaled_config,
+)
+from repro.gpusim import _event_core  # noqa: E402
+from repro.gpusim.vector_sim import _resolve_tape, _TAPE_MEMO  # noqa: E402
+from repro.workloads.snapshots import SnapshotConfig  # noqa: E402
+from repro.workloads.traces import (  # noqa: E402
+    TraceConfig,
+    generate_trace,
+    layout_snapshot,
+)
+
+BENCHMARK = "VGG16"
+LINKS = (25.0, 50.0, 75.0, 100.0, 200.0, 300.0, 600.0, 900.0)
+TRACE_CONFIG = TraceConfig(
+    sm_count=4,
+    warps_per_sm=8,
+    memory_instructions_per_warp=24,
+    snapshot_config=SnapshotConfig(
+        scale=1.0 / 16384, min_footprint_bytes=256 * 1024
+    ),
+)
+GPU = scaled_config(sm_count=4, warps_per_sm=8)
+
+
+def record_tape():
+    trace = generate_trace(BENCHMARK, TRACE_CONFIG)
+    snapshot = layout_snapshot(BENCHMARK, TRACE_CONFIG)
+    selection = {a.name: TargetRatio.X2 for a in snapshot.allocations}
+    state = CompressionState.from_snapshot(
+        snapshot, selection, CompressionMode.BUDDY
+    )
+    _TAPE_MEMO.pop(trace, None)
+    tape, _result = _resolve_tape(
+        trace, state, GPU.with_link(REFERENCE_LINK_GBPS), need_tape=True
+    )
+    _TAPE_MEMO.pop(trace, None)
+    return tape
+
+
+def replay_batched(tape):
+    iscalars = (tape.warp_count, tape.sm_count, tape.channels)
+    packs = []
+    for link in LINKS:
+        cfg = GPU.with_link(link)
+        packs.append(
+            (
+                cfg.issue_interval,
+                float(cfg.dram_latency),
+                float(cfg.l2_latency),
+                cfg.link.bytes_per_cycle(cfg.clock_hz),
+                float(cfg.link.latency_cycles),
+                tape.fill_tail,
+            )
+        )
+    batched = tuple(
+        _event_core.replay_tape_many(tape.cols, tape.warp_mlp, iscalars, packs)
+    )
+    serial = tuple(
+        _event_core.replay_tape(tape.cols, tape.warp_mlp, iscalars, pack)
+        for pack in packs
+    )
+    return batched, serial
+
+
+def digest(cycles) -> str:
+    return hashlib.sha256(repr(cycles).encode()).hexdigest()[:16]
+
+
+def main() -> int:
+    errors: list[str] = []
+    compiled_build = _event_core.compiled_active()
+    print(f"event core: {'compiled' if compiled_build else 'python'}")
+
+    tape = record_tape()
+    print(f"tape: {BENCHMARK}, {tape.event_count} event(s), {len(LINKS)} link(s)")
+
+    batched, serial = replay_batched(tape)
+    if batched != serial:
+        errors.append(f"batched != serial on the active core: {batched} vs {serial}")
+    active_digest = digest(batched)
+    print(f"  active build:   batched digest {active_digest}")
+
+    with _event_core.force_python():
+        fallback_batched, fallback_serial = replay_batched(tape)
+    if fallback_batched != fallback_serial:
+        errors.append(
+            f"batched != serial on the fallback core: "
+            f"{fallback_batched} vs {fallback_serial}"
+        )
+    fallback_digest = digest(fallback_batched)
+    print(f"  python build:   batched digest {fallback_digest}")
+
+    if active_digest != fallback_digest:
+        errors.append(
+            f"cross-build drift: {active_digest} != {fallback_digest}"
+        )
+    elif compiled_build:
+        print("  compiled == fallback: OK")
+    else:
+        print("  (extension absent: cross-build diff was fallback-vs-fallback)")
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,13 @@ def fig10_plan(point: dict) -> list:
     every (benchmark, length) pair shares one per-entry layout, so the
     planner builds each benchmark's entry-state tensor once for the
     whole grid.
+
+    Grouping by tape key is *degenerate* here: the correlation points
+    run IDEAL-mode states at the machine's default (reference)
+    interconnect only, where the relaxed engine is the exact engine
+    and never records a tape — so no :class:`TapeSpec` is declared,
+    and a co-submitted fig10+fig11 sweep's tape count is exactly the
+    fig11 relaxed benchmarks'.
     """
     from repro.engine.planner import EntryStateSpec, TraceSpec
 

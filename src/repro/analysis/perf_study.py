@@ -22,13 +22,33 @@ from repro.core.targets import FINAL
 from repro.gpusim.compression import CompressionMode, CompressionState
 from repro.gpusim.config import GPUConfig, scaled_config
 from repro.gpusim.simulator import DependencyDrivenSimulator
-from repro.gpusim.vector_sim import REFERENCE_LINK_GBPS
+from repro.gpusim.vector_sim import (
+    REFERENCE_LINK_GBPS,
+    ensure_tape,
+    replay_links,
+    tape_cache_key,
+)
 from repro.workloads.catalog import get_benchmark
 from repro.workloads.snapshots import SnapshotConfig
 from repro.workloads.traces import TraceConfig, generate_trace, layout_state
 
 #: The paper's interconnect sweep (GB/s, unidirectional full-duplex).
 LINK_SWEEP = (50.0, 100.0, 150.0, 200.0)
+
+
+def _normalize_point_inputs(config, trace_config, profile_config):
+    """The defaults one Fig. 11 point resolves its inputs with.
+
+    Shared by :func:`perf_benchmark_row`, :func:`prepare_tape` and
+    :func:`fig11_plan` so the tape cache key computed at plan time is
+    byte-identical to the one the point computes at run time.
+    """
+    config = config or scaled_config()
+    trace_config = trace_config or TraceConfig(
+        sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
+    )
+    profile_config = profile_config or SnapshotConfig(scale=1.0 / 65536)
+    return config, trace_config, profile_config
 
 
 @dataclass
@@ -94,11 +114,9 @@ def perf_benchmark_row(
     legacy oracle (a breach raises ``RelaxedVerificationError``); it
     must stay 0.0 for the exact engines.
     """
-    config = config or scaled_config()
-    trace_config = trace_config or TraceConfig(
-        sm_count=config.sm_count, warps_per_sm=config.warps_per_sm
+    config, trace_config, profile_config = _normalize_point_inputs(
+        config, trace_config, profile_config
     )
-    profile_config = profile_config or SnapshotConfig(scale=1.0 / 65536)
     compressor = BuddyCompressor(BuddyConfig(snapshot_config=profile_config))
 
     trace = generate_trace(benchmark, trace_config)
@@ -124,15 +142,35 @@ def perf_benchmark_row(
     )
     buddy = {}
     meta_hit = 0.0
-    for link in link_sweep:
-        result = DependencyDrivenSimulator(
-            config.with_link(link), engine, verify
-        ).run(trace, buddy_state)
-        buddy[link] = ideal.cycles / result.cycles
-        if link == REFERENCE_LINK_GBPS:
-            # The 150 GB/s row: the paper's normalisation point and
-            # the relaxed engine's reference interconnect.
-            meta_hit = result.metadata_hit_rate
+    if engine == "relaxed":
+        # The whole link sweep shares one frozen tape: resolve it once
+        # (through the persistent ``sim.tape`` cache / the planner's
+        # stage-0 preload when available) and replay every
+        # non-reference link in a single batched pass — bit-identical
+        # to looping the relaxed simulator over the sweep.
+        key = tape_cache_key(benchmark, trace_config, profile_config, config)
+        results = replay_links(
+            trace,
+            buddy_state,
+            config,
+            link_sweep,
+            verify=verify,
+            cache_key=key,
+        )
+        for link, result in zip(link_sweep, results):
+            buddy[link] = ideal.cycles / result.cycles
+            if link == REFERENCE_LINK_GBPS:
+                meta_hit = result.metadata_hit_rate
+    else:
+        for link in link_sweep:
+            result = DependencyDrivenSimulator(
+                config.with_link(link), engine, verify
+            ).run(trace, buddy_state)
+            buddy[link] = ideal.cycles / result.cycles
+            if link == REFERENCE_LINK_GBPS:
+                # The 150 GB/s row: the paper's normalisation point and
+                # the relaxed engine's reference interconnect.
+                meta_hit = result.metadata_hit_rate
 
     return BenchmarkPerf(
         benchmark=benchmark,
@@ -145,6 +183,35 @@ def perf_benchmark_row(
     )
 
 
+def prepare_tape(
+    benchmark: str,
+    config: GPUConfig | None = None,
+    trace_config: TraceConfig | None = None,
+    profile_config: SnapshotConfig | None = None,
+) -> dict:
+    """Record-or-load the relaxed tape for one Fig. 11 design point.
+
+    The planner's stage-0 tape build: resolves exactly the inputs
+    :func:`perf_benchmark_row` would (same defaults, same buddy
+    selection), then routes the tape through
+    :func:`repro.gpusim.vector_sim.ensure_tape` — a persistent-cache
+    hit deserializes instead of re-recording.  Returns the tape
+    envelope so cacheless pools can ship it to point workers.
+    """
+    config, trace_config, profile_config = _normalize_point_inputs(
+        config, trace_config, profile_config
+    )
+    compressor = BuddyCompressor(BuddyConfig(snapshot_config=profile_config))
+    trace = generate_trace(benchmark, trace_config)
+    layout = layout_state(benchmark, trace_config)
+    selection = compressor.select(compressor.profile(benchmark), FINAL)
+    buddy_state = CompressionState.from_entry_state(
+        layout, selection, CompressionMode.BUDDY
+    )
+    key = tape_cache_key(benchmark, trace_config, profile_config, config)
+    return ensure_tape(key, trace, buddy_state, config)
+
+
 def fig11_plan(point: dict) -> list:
     """Shared dependency graph of one Fig. 11 design point.
 
@@ -152,20 +219,25 @@ def fig11_plan(point: dict) -> list:
     profiling scale; the trace generator and both compression states
     consume the per-entry state of the layout dump behind the trace
     config.  The trace itself is declared for statistics only — it is
-    cheap to regenerate from a warm entry-state tensor.
+    cheap to regenerate from a warm entry-state tensor.  A relaxed
+    point whose sweep leaves the reference interconnect additionally
+    declares its recorded event tape (:class:`TapeSpec`), so
+    co-submitted sweeps record each ``(trace, state, geometry)`` tape
+    once in stage 0.
     """
     from repro.compression.bpc import BPCCompressor
     from repro.engine.planner import (
         EntryStateSpec,
         ProfileTensorSpec,
         SnapshotsSpec,
+        TapeSpec,
         TraceSpec,
     )
 
     benchmark = point["benchmark"]
     profile_config = point["profile_config"].as_profile()
     trace_config = point["trace_config"]
-    return [
+    specs = [
         ProfileTensorSpec(benchmark, profile_config, BPCCompressor()),
         SnapshotsSpec(benchmark, profile_config),
         EntryStateSpec(
@@ -173,6 +245,14 @@ def fig11_plan(point: dict) -> list:
         ),
         TraceSpec(benchmark, trace_config),
     ]
+    if point["engine"] == "relaxed" and any(
+        float(link) != REFERENCE_LINK_GBPS for link in point["link_sweep"]
+    ):
+        config, norm_trace, norm_profile = _normalize_point_inputs(
+            point["config"], trace_config, point["profile_config"]
+        )
+        specs.append(TapeSpec(benchmark, norm_trace, norm_profile, config))
+    return specs
 
 
 def run_perf_study(

@@ -361,6 +361,8 @@ def _cmd_cache(args) -> int:
         evicted = cache.evict(args.evict_to)
         if not args.json:
             print(f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}")
+    from repro.gpusim.vector_sim import TAPE_FORMAT_VERSION
+
     usage = cache.usage()
     if args.json:
         print(
@@ -370,6 +372,7 @@ def _cmd_cache(args) -> int:
                     "entries": usage.entries,
                     "bytes": usage.bytes,
                     "evictions": usage.evictions,
+                    "tape_format_version": TAPE_FORMAT_VERSION,
                     "per_experiment": {
                         name: {"entries": entries, "bytes": size}
                         for name, (entries, size) in usage.per_experiment.items()
@@ -382,6 +385,8 @@ def _cmd_cache(args) -> int:
     print(f"cache root: {cache.root}")
     for name, (entries, size) in usage.per_experiment.items():
         print(f"  {name:20s} {entries:6d} entr{'y' if entries == 1 else 'ies'} {size:12,d} bytes")
+    if "sim.tape" in usage.per_experiment:
+        print(f"  (sim.tape entries use tape serialization format v{TAPE_FORMAT_VERSION})")
     print(
         f"total: {usage.entries} entr{'y' if usage.entries == 1 else 'ies'}, "
         f"{usage.bytes:,d} bytes, {usage.evictions} lifetime eviction(s)"
@@ -406,10 +411,12 @@ def _cmd_doctor(args) -> int:
     import numpy as np
 
     from repro.gpusim import _event_core
+    from repro.gpusim.vector_sim import TAPE_FORMAT_VERSION
     from repro.statics import check_repo
 
     cache = ResultCache(args.cache_dir)
     usage = cache.usage()
+    tape_entries, tape_bytes = usage.per_experiment.get("sim.tape", (0, 0))
     check_summary = check_repo().summary()
     info = {
         "event_core": _event_core.describe(),
@@ -420,6 +427,11 @@ def _cmd_doctor(args) -> int:
             "root": str(cache.root),
             "entries": usage.entries,
             "bytes": usage.bytes,
+        },
+        "tape": {
+            "format_version": TAPE_FORMAT_VERSION,
+            "entries": tape_entries,
+            "bytes": tape_bytes,
         },
         "check": check_summary,
     }
@@ -443,6 +455,11 @@ def _cmd_doctor(args) -> int:
         f"cache:       {info['cache']['root']} "
         f"({usage.entries} entr{'y' if usage.entries == 1 else 'ies'}, "
         f"{usage.bytes:,d} bytes)"
+    )
+    print(
+        f"tape cache:  format v{TAPE_FORMAT_VERSION}, "
+        f"{tape_entries} entr{'y' if tape_entries == 1 else 'ies'}, "
+        f"{tape_bytes:,d} bytes"
     )
     print(
         f"check:       {check_summary['errors']} error(s), "

@@ -26,7 +26,7 @@ import inspect
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass
 from enum import Enum
 from functools import lru_cache
 from pathlib import Path
@@ -153,6 +153,11 @@ class CacheStats:
     running size estimate keeps bounded ``put`` amortised-scan-free,
     and an evicting put performs exactly ONE walk — the regression
     tests pin both.
+
+    ``per_namespace`` splits hits/misses/stores by cache namespace
+    (``sim.tape``, ``profile.tensor``, design-point experiments, ...)
+    as ``name -> [hits, misses, stores]``, so reports can show which
+    artifact class a warm run actually reused.
     """
 
     hits: int = 0
@@ -160,6 +165,12 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     scans: int = 0
+    per_namespace: dict = field(default_factory=dict, compare=False)
+
+    def bump(self, namespace: str, slot: int) -> None:
+        """Count one hit (0) / miss (1) / store (2) in a namespace."""
+        row = self.per_namespace.setdefault(namespace, [0, 0, 0])
+        row[slot] += 1
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
@@ -167,6 +178,10 @@ class CacheStats:
         self.stores += other.stores
         self.evictions += other.evictions
         self.scans += other.scans
+        for namespace, row in other.per_namespace.items():
+            mine = self.per_namespace.setdefault(namespace, [0, 0, 0])
+            for slot, count in enumerate(row):
+                mine[slot] += count
 
 
 @dataclass
@@ -223,6 +238,7 @@ class ResultCache:
             blob = path.read_bytes()
         except FileNotFoundError:
             self.stats.misses += 1
+            self.stats.bump(key.experiment, 1)
             raise CacheMiss(f"{key.experiment}/{key.digest}") from None
         try:
             value = pickle.loads(blob)
@@ -231,8 +247,10 @@ class ResultCache:
             # the rerun repairs the cache.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            self.stats.bump(key.experiment, 1)
             raise CacheMiss(f"{key.experiment}/{key.digest} (corrupt)") from None
         self.stats.hits += 1
+        self.stats.bump(key.experiment, 0)
         # Touch the entry so LRU eviction sees the hit as recent use.
         with contextlib.suppress(OSError):
             os.utime(path, None)
@@ -252,6 +270,7 @@ class ResultCache:
                 os.unlink(tmp)
             raise
         self.stats.stores += 1
+        self.stats.bump(key.experiment, 2)
         if self.max_bytes is not None:
             if self._approx_bytes is None:
                 # First bounded put: one walk inside evict() both

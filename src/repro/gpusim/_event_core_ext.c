@@ -32,7 +32,7 @@
 #include <stdint.h>
 #include <stdlib.h>
 
-#define EXT_ABI 1
+#define EXT_ABI 2
 
 /* arrays-tuple slots (mirrors _event_core.A_*) */
 enum {
@@ -1359,12 +1359,437 @@ cleanup:
     return result;
 }
 
+/* ------------------------------------------------------------------ */
+/* replay_many(tape_cols, warp_mlp, iscalars, fscalars_packs)         */
+/*     -> tuple of per-link cycles                                    */
+/*                                                                    */
+/* Batched twin of replay(): one pass over the tape advances every    */
+/* requested link together.  Control flow (branches, the MLP pop)     */
+/* depends only on link-invariant tape payloads, so it is hoisted to  */
+/* the event level; the per-link clock state lives in link-minor      */
+/* arrays (state[slot * n_links + l]) walked by a tight inner loop    */
+/* over the RF_* hot scalars.  Each lane performs exactly the IEEE    */
+/* double ops of a serial replay() at that link, in the same order,   */
+/* so the per-link results are bit-identical to serial calls (and to  */
+/* _replay_many_py's NumPy lanes).                                    */
+/* ------------------------------------------------------------------ */
+static PyObject *
+replay_many(PyObject *self, PyObject *args)
+{
+    PyObject *tape, *mlp_obj, *iscalars_o, *fpacks_o;
+    if (!PyArg_ParseTuple(args, "OOOO", &tape, &mlp_obj, &iscalars_o,
+                          &fpacks_o))
+        return NULL;
+
+    int64_t isc[RI_COUNT];
+    if (unpack_i64(iscalars_o, isc, RI_COUNT) < 0)
+        return NULL;
+    if (!PyTuple_Check(fpacks_o)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "fscalars_packs must be a tuple of RF_* tuples");
+        return NULL;
+    }
+    const Py_ssize_t n_links = PyTuple_Size(fpacks_o);
+    if (n_links == 0)
+        return PyTuple_New(0);
+
+    Buf tbufs[12];
+    for (Py_ssize_t k = 0; k < 12; k++)
+        tbufs[k].has = 0;
+    Buf mlp_buf;
+    mlp_buf.has = 0;
+
+    PyObject *result = NULL;
+    double *fsc = NULL;
+    double *next_free = NULL, *sm_free = NULL, *ready = NULL, *out = NULL;
+    double *link_read_free = NULL, *link_write_free = NULL, *finish = NULL;
+    int64_t *out_base = NULL, *out_len = NULL, *out_head = NULL;
+
+    fsc = malloc(sizeof(double) * (size_t)n_links * RF_COUNT);
+    if (!fsc) {
+        PyErr_NoMemory();
+        goto cleanup;
+    }
+    for (Py_ssize_t l = 0; l < n_links; l++) {
+        PyObject *pack = PyTuple_GetItem(fpacks_o, l);
+        if (pack == NULL ||
+            unpack_f64(pack, fsc + l * RF_COUNT, RF_COUNT) < 0)
+            goto cleanup;
+    }
+
+    for (Py_ssize_t k = 0; k < 12; k++) {
+        PyObject *item = PyTuple_GetItem(tape, k);
+        if (item == NULL || get_buf(item, &tbufs[k], 0) < 0)
+            goto cleanup;
+    }
+    if (get_buf(mlp_obj, &mlp_buf, 0) < 0)
+        goto cleanup;
+
+    const int8_t *tk = (const int8_t *)tbufs[0].view.buf;
+    const int32_t *tw = (const int32_t *)tbufs[1].view.buf;
+    const int32_t *tsm = (const int32_t *)tbufs[2].view.buf;
+    const double *tf0 = (const double *)tbufs[3].view.buf;
+    const double *tf1 = (const double *)tbufs[4].view.buf;
+    const double *tf2 = (const double *)tbufs[5].view.buf;
+    const int32_t *ti0 = (const int32_t *)tbufs[6].view.buf;
+    const int32_t *ti1 = (const int32_t *)tbufs[7].view.buf;
+    const int32_t *ti2 = (const int32_t *)tbufs[8].view.buf;
+    const int32_t *ti3 = (const int32_t *)tbufs[9].view.buf;
+    const int32_t *ti4 = (const int32_t *)tbufs[10].view.buf;
+    const int32_t *ti5 = (const int32_t *)tbufs[11].view.buf;
+    const int64_t *warp_mlp = (const int64_t *)mlp_buf.view.buf;
+    const Py_ssize_t n_events = tbufs[0].view.len;
+
+    const int64_t warp_count = isc[RI_WARP_COUNT];
+    const int64_t sm_count = isc[RI_SM_COUNT];
+    const int64_t channels = isc[RI_CHANNELS];
+
+    next_free = calloc((size_t)channels * n_links, sizeof(double));
+    sm_free = calloc((size_t)sm_count * n_links, sizeof(double));
+    ready = calloc((size_t)(warp_count > 0 ? warp_count : 1) * n_links,
+                   sizeof(double));
+    link_read_free = calloc((size_t)n_links, sizeof(double));
+    link_write_free = calloc((size_t)n_links, sizeof(double));
+    finish = calloc((size_t)n_links, sizeof(double));
+    out_base = calloc((size_t)(warp_count > 0 ? warp_count : 1),
+                      sizeof(int64_t));
+    out_len = calloc((size_t)(warp_count > 0 ? warp_count : 1),
+                     sizeof(int64_t));
+    out_head = calloc((size_t)(warp_count > 0 ? warp_count : 1),
+                      sizeof(int64_t));
+    if (!next_free || !sm_free || !ready || !link_read_free ||
+        !link_write_free || !finish || !out_base || !out_len ||
+        !out_head) {
+        PyErr_NoMemory();
+        goto cleanup;
+    }
+    /* Partition one flat completion array by each warp's number of
+     * completing events (kinds 1/2/3); one lane block per event. */
+    Py_ssize_t total_out = 0;
+    for (Py_ssize_t e = 0; e < n_events; e++) {
+        int8_t kind = tk[e];
+        if (kind == 1 || kind == 2 || kind == 3) {
+            out_base[tw[e]]++;
+            total_out++;
+        }
+    }
+    {
+        int64_t acc = 0;
+        for (int64_t w = 0; w < warp_count; w++) {
+            int64_t c = out_base[w];
+            out_base[w] = acc;
+            acc += c;
+        }
+    }
+    out = malloc(sizeof(double) *
+                 (size_t)(total_out > 0 ? total_out : 1) * n_links);
+    if (!out) {
+        PyErr_NoMemory();
+        goto cleanup;
+    }
+
+    for (Py_ssize_t e = 0; e < n_events; e++) {
+        int8_t kind = tk[e];
+        int64_t w = tw[e];
+        int64_t sm = tsm[e];
+        if (kind == 8) { /* warp end */
+            int64_t head = out_head[w];
+            int64_t base = out_base[w];
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                if (out_len[w] > head) {
+                    double last = out[(base + head) * n_links + l];
+                    for (int64_t k = head + 1; k < out_len[w]; k++) {
+                        double v = out[(base + k) * n_links + l];
+                        if (v > last)
+                            last = v;
+                    }
+                    if (last > finish[l])
+                        finish[l] = last;
+                }
+                if (ready[w * n_links + l] > finish[l])
+                    finish[l] = ready[w * n_links + l];
+            }
+            continue;
+        }
+        if (kind == 0) { /* compute */
+            double busy = tf0[e];
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                double r = ready[w * n_links + l];
+                double free_t = sm_free[sm * n_links + l];
+                double issue = r > free_t ? r : free_t;
+                double t = issue + busy;
+                sm_free[sm * n_links + l] = t;
+                ready[w * n_links + l] = t;
+            }
+            continue;
+        }
+        if (kind == 1) { /* load, cache hit */
+            int64_t base = out_base[w];
+            int64_t pos = out_len[w];
+            int64_t head = out_head[w];
+            int pop = (pos + 1 - head >= warp_mlp[w]);
+            double lat = tf0[e];
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                const double *f = fsc + l * RF_COUNT;
+                double r = ready[w * n_links + l];
+                double free_t = sm_free[sm * n_links + l];
+                double issue = r > free_t ? r : free_t;
+                sm_free[sm * n_links + l] = issue + f[RF_INTERVAL];
+                out[(base + pos) * n_links + l] = issue + lat;
+                if (pop)
+                    ready[w * n_links + l] =
+                        out[(base + head) * n_links + l];
+                else
+                    ready[w * n_links + l] = issue + f[RF_INTERVAL];
+            }
+            out_len[w] = pos + 1;
+            if (pop)
+                out_head[w] = head + 1;
+        } else if (kind == 2) { /* load, demand fill */
+            int64_t base = out_base[w];
+            int64_t pos = out_len[w];
+            int64_t head = out_head[w];
+            int pop = (pos + 1 - head >= warp_mlp[w]);
+            double serv = tf0[e];
+            double mserv = tf1[e];
+            double wbserv = tf2[e];
+            int64_t ch = ti0[e];
+            int64_t mmiss = ti1[e];
+            int64_t mch = ti2[e];
+            int64_t bnum = ti3[e];
+            int64_t wbch = ti4[e];
+            int64_t wbbnum = ti5[e];
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                const double *f = fsc + l * RF_COUNT;
+                double r = ready[w * n_links + l];
+                double free_t = sm_free[sm * n_links + l];
+                double issue = r > free_t ? r : free_t;
+                sm_free[sm * n_links + l] = issue + f[RF_INTERVAL];
+                double arrival = issue + f[RF_ARRIVAL_LAT];
+                double done;
+                if (serv != 0.0) {
+                    double cf = next_free[ch * n_links + l];
+                    double start = cf > arrival ? cf : arrival;
+                    double end = start + serv;
+                    next_free[ch * n_links + l] = end;
+                    done = end + f[RF_DRAM_LAT];
+                } else {
+                    done = arrival;
+                }
+                double meta_ready = arrival;
+                if (mmiss) {
+                    double cf = next_free[mch * n_links + l];
+                    double start = cf > arrival ? cf : arrival;
+                    double end = start + mserv;
+                    next_free[mch * n_links + l] = end;
+                    meta_ready = end + f[RF_DRAM_LAT];
+                    if (meta_ready > done)
+                        done = meta_ready;
+                }
+                if (bnum) {
+                    double start = link_read_free[l] > meta_ready
+                                       ? link_read_free[l]
+                                       : meta_ready;
+                    double end = start + (double)bnum / f[RF_LINK_BPC];
+                    link_read_free[l] = end;
+                    double t = end + f[RF_LINK_LAT];
+                    if (t > done)
+                        done = t;
+                }
+                if (wbserv != 0.0) {
+                    double cf = next_free[wbch * n_links + l];
+                    double start = cf > arrival ? cf : arrival;
+                    next_free[wbch * n_links + l] = start + wbserv;
+                }
+                if (wbbnum) {
+                    double start = link_write_free[l] > arrival
+                                       ? link_write_free[l]
+                                       : arrival;
+                    link_write_free[l] =
+                        start + (double)wbbnum / f[RF_LINK_BPC];
+                }
+                done = done + f[RF_FILL_TAIL];
+                out[(base + pos) * n_links + l] = done;
+                if (pop)
+                    ready[w * n_links + l] =
+                        out[(base + head) * n_links + l];
+                else
+                    ready[w * n_links + l] = issue + f[RF_INTERVAL];
+            }
+            out_len[w] = pos + 1;
+            if (pop)
+                out_head[w] = head + 1;
+        } else if (kind == 4) { /* store, no memory-system timing */
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                const double *f = fsc + l * RF_COUNT;
+                double r = ready[w * n_links + l];
+                double free_t = sm_free[sm * n_links + l];
+                double issue = r > free_t ? r : free_t;
+                sm_free[sm * n_links + l] = issue + f[RF_INTERVAL];
+                ready[w * n_links + l] = issue + f[RF_INTERVAL];
+            }
+        } else if (kind == 5) { /* store with dirty-eviction writeback */
+            double wbserv = tf2[e];
+            int64_t wbch = ti4[e];
+            int64_t wbbnum = ti5[e];
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                const double *f = fsc + l * RF_COUNT;
+                double r = ready[w * n_links + l];
+                double free_t = sm_free[sm * n_links + l];
+                double issue = r > free_t ? r : free_t;
+                sm_free[sm * n_links + l] = issue + f[RF_INTERVAL];
+                if (wbserv != 0.0) {
+                    double cf = next_free[wbch * n_links + l];
+                    double start = cf > issue ? cf : issue;
+                    next_free[wbch * n_links + l] = start + wbserv;
+                }
+                if (wbbnum) {
+                    double start = link_write_free[l] > issue
+                                       ? link_write_free[l]
+                                       : issue;
+                    link_write_free[l] =
+                        start + (double)wbbnum / f[RF_LINK_BPC];
+                }
+                ready[w * n_links + l] = issue + f[RF_INTERVAL];
+            }
+        } else if (kind == 6) { /* store with read-modify-write fill */
+            double serv = tf0[e];
+            double mserv = tf1[e];
+            double wbserv = tf2[e];
+            int64_t ch = ti0[e];
+            int64_t mmiss = ti1[e];
+            int64_t mch = ti2[e];
+            int64_t bnum = ti3[e];
+            int64_t wbch = ti4[e];
+            int64_t wbbnum = ti5[e];
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                const double *f = fsc + l * RF_COUNT;
+                double r = ready[w * n_links + l];
+                double free_t = sm_free[sm * n_links + l];
+                double issue = r > free_t ? r : free_t;
+                sm_free[sm * n_links + l] = issue + f[RF_INTERVAL];
+                if (serv != 0.0) {
+                    double cf = next_free[ch * n_links + l];
+                    double start = cf > issue ? cf : issue;
+                    next_free[ch * n_links + l] = start + serv;
+                }
+                double meta_ready = issue;
+                if (mmiss) {
+                    double cf = next_free[mch * n_links + l];
+                    double start = cf > issue ? cf : issue;
+                    double end = start + mserv;
+                    next_free[mch * n_links + l] = end;
+                    meta_ready = end + f[RF_DRAM_LAT];
+                }
+                if (bnum) {
+                    double start = link_read_free[l] > meta_ready
+                                       ? link_read_free[l]
+                                       : meta_ready;
+                    link_read_free[l] =
+                        start + (double)bnum / f[RF_LINK_BPC];
+                }
+                if (wbserv != 0.0) {
+                    double cf = next_free[wbch * n_links + l];
+                    double start = cf > issue ? cf : issue;
+                    next_free[wbch * n_links + l] = start + wbserv;
+                }
+                if (wbbnum) {
+                    double start = link_write_free[l] > issue
+                                       ? link_write_free[l]
+                                       : issue;
+                    link_write_free[l] =
+                        start + (double)wbbnum / f[RF_LINK_BPC];
+                }
+                ready[w * n_links + l] = issue + f[RF_INTERVAL];
+            }
+        } else if (kind == 3) { /* host load over the link */
+            int64_t base = out_base[w];
+            int64_t pos = out_len[w];
+            int64_t head = out_head[w];
+            int pop = (pos + 1 - head >= warp_mlp[w]);
+            int64_t hnum = ti0[e];
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                const double *f = fsc + l * RF_COUNT;
+                double r = ready[w * n_links + l];
+                double free_t = sm_free[sm * n_links + l];
+                double issue = r > free_t ? r : free_t;
+                sm_free[sm * n_links + l] = issue + f[RF_INTERVAL];
+                double start = link_read_free[l] > issue
+                                   ? link_read_free[l]
+                                   : issue;
+                double end = start + (double)hnum / f[RF_LINK_BPC];
+                link_read_free[l] = end;
+                out[(base + pos) * n_links + l] = end + f[RF_LINK_LAT];
+                if (pop)
+                    ready[w * n_links + l] =
+                        out[(base + head) * n_links + l];
+                else
+                    ready[w * n_links + l] = issue + f[RF_INTERVAL];
+            }
+            out_len[w] = pos + 1;
+            if (pop)
+                out_head[w] = head + 1;
+        } else { /* kind 7: host store over the link */
+            int64_t hnum = ti0[e];
+            for (Py_ssize_t l = 0; l < n_links; l++) {
+                const double *f = fsc + l * RF_COUNT;
+                double r = ready[w * n_links + l];
+                double free_t = sm_free[sm * n_links + l];
+                double issue = r > free_t ? r : free_t;
+                sm_free[sm * n_links + l] = issue + f[RF_INTERVAL];
+                double start = link_write_free[l] > issue
+                                   ? link_write_free[l]
+                                   : issue;
+                link_write_free[l] =
+                    start + (double)hnum / f[RF_LINK_BPC];
+                ready[w * n_links + l] = issue + f[RF_INTERVAL];
+            }
+        }
+    }
+
+    result = PyTuple_New(n_links);
+    if (result == NULL)
+        goto cleanup;
+    for (Py_ssize_t l = 0; l < n_links; l++) {
+        double cycles = finish[l];
+        for (int64_t c = 0; c < channels; c++)
+            if (next_free[c * n_links + l] > cycles)
+                cycles = next_free[c * n_links + l];
+        if (link_read_free[l] > cycles)
+            cycles = link_read_free[l];
+        if (link_write_free[l] > cycles)
+            cycles = link_write_free[l];
+        for (int64_t s = 0; s < sm_count; s++)
+            if (sm_free[s * n_links + l] > cycles)
+                cycles = sm_free[s * n_links + l];
+        PyObject *value = PyFloat_FromDouble(cycles);
+        if (value == NULL) {
+            Py_CLEAR(result);
+            goto cleanup;
+        }
+        PyTuple_SET_ITEM(result, l, value);
+    }
+
+cleanup:
+    free(fsc);
+    free(next_free); free(sm_free); free(ready); free(out);
+    free(link_read_free); free(link_write_free); free(finish);
+    free(out_base); free(out_len); free(out_head);
+    release_bufs(tbufs, 12);
+    if (mlp_buf.has)
+        PyBuffer_Release(&mlp_buf.view);
+    return result;
+}
+
 static PyMethodDef event_core_methods[] = {
     {"run_exact", run_exact, METH_VARARGS,
      "run_exact(arrays, iscalars, fscalars, tape_cols_or_None) -> "
      "counter tuple"},
     {"replay", replay, METH_VARARGS,
      "replay(tape_cols, warp_mlp, iscalars, fscalars) -> cycles"},
+    {"replay_many", replay_many, METH_VARARGS,
+     "replay_many(tape_cols, warp_mlp, iscalars, fscalars_packs) -> "
+     "tuple of per-link cycles"},
     {NULL, NULL, 0, NULL},
 };
 

@@ -34,7 +34,12 @@ from repro.gpusim import (
 )
 from repro.gpusim import _event_core
 from repro.gpusim.trace import Op
-from repro.gpusim.vector_sim import _replay_tape, _resolve_tape, _TAPE_MEMO
+from repro.gpusim.vector_sim import (
+    _replay_tape,
+    _resolve_tape,
+    _TAPE_MEMO,
+    replay_links,
+)
 from repro.workloads.snapshots import SnapshotConfig
 from repro.workloads.traces import TraceConfig, generate_trace, layout_snapshot
 
@@ -251,18 +256,22 @@ class TestCompiledMatchesPython:
             assert getattr(compiled, field) == getattr(fallback, field), field
 
 
+def record_small_tape(benchmark="VGG16", mode=CompressionMode.BUDDY):
+    trace = generate_trace(benchmark, SMALL_TRACE)
+    state = small_state(benchmark, mode, trace)
+    config = SMALL_GPU.with_link(REFERENCE_LINK_GBPS)
+    _TAPE_MEMO.pop(trace, None)
+    tape, result = _resolve_tape(trace, state, config, need_tape=True)
+    _TAPE_MEMO.pop(trace, None)
+    return trace, state, config, tape, result
+
+
 # ---------------------------------------------------------------------------
 # Tape compaction (runs on whichever core is active).
 # ---------------------------------------------------------------------------
 class TestTapeCompaction:
     def record_tape(self, benchmark="VGG16", mode=CompressionMode.BUDDY):
-        trace = generate_trace(benchmark, SMALL_TRACE)
-        state = small_state(benchmark, mode, trace)
-        config = SMALL_GPU.with_link(REFERENCE_LINK_GBPS)
-        _TAPE_MEMO.pop(trace, None)
-        tape, result = _resolve_tape(trace, state, config, need_tape=True)
-        _TAPE_MEMO.pop(trace, None)
-        return trace, state, config, tape, result
+        return record_small_tape(benchmark, mode)
 
     def test_round_trip_replay_matches_legacy(self):
         """record -> compact arrays -> replay == the legacy oracle at
@@ -338,6 +347,98 @@ class TestTapeCompaction:
 
 
 # ---------------------------------------------------------------------------
+# Batched multi-link replay (runs on whichever core is active; the
+# compiled-vs-fallback identity tests additionally need the extension).
+# ---------------------------------------------------------------------------
+def replay_packs(tape, config, links):
+    """The (iscalars, fscalars_list) a batched replay of ``links`` uses."""
+    iscalars = (tape.warp_count, tape.sm_count, tape.channels)
+    packs = []
+    for link in links:
+        cfg = config.with_link(link)
+        packs.append(
+            (
+                cfg.issue_interval,
+                float(cfg.dram_latency),
+                float(cfg.l2_latency),
+                cfg.link.bytes_per_cycle(cfg.clock_hz),
+                float(cfg.link.latency_cycles),
+                tape.fill_tail,
+            )
+        )
+    return iscalars, packs
+
+
+class TestBatchedReplay:
+    LINKS = (25.0, 50.0, 120.0, REFERENCE_LINK_GBPS, 300.0, 900.0)
+
+    def test_batched_equals_serial_per_link(self):
+        """replay_tape_many == [replay_tape per link], bit for bit."""
+        _trace, _state, config, tape, _result = record_small_tape()
+        off = [link for link in self.LINKS if link != REFERENCE_LINK_GBPS]
+        iscalars, packs = replay_packs(tape, SMALL_GPU, off)
+        batched = _event_core.replay_tape_many(
+            tape.cols, tape.warp_mlp, iscalars, packs
+        )
+        serial = tuple(
+            _replay_tape(tape, SMALL_GPU.with_link(link)) for link in off
+        )
+        assert tuple(batched) == serial
+
+    def test_empty_pack_list_returns_empty(self):
+        _trace, _state, _config, tape, _result = record_small_tape("354.cg")
+        iscalars = (tape.warp_count, tape.sm_count, tape.channels)
+        assert (
+            tuple(_event_core.replay_tape_many(
+                tape.cols, tape.warp_mlp, iscalars, []
+            ))
+            == ()
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_replay_links_matches_serial_relaxed_loop(self, seed):
+        """The batched engine front end is bit-identical to looping
+        RelaxedSimulator over ``config.with_link(link)``."""
+        trace, rng = fuzz_trace(seed)
+        state = fuzz_state(CompressionMode.BUDDY, rng, trace)
+        config = scaled_config(sm_count=2, warps_per_sm=4)
+        _TAPE_MEMO.pop(trace, None)
+        batched = replay_links(trace, state, config, self.LINKS)
+        serial = [
+            DependencyDrivenSimulator(
+                config.with_link(link), "relaxed"
+            ).run(trace, state)
+            for link in self.LINKS
+        ]
+        _TAPE_MEMO.pop(trace, None)
+        for link, got, want in zip(self.LINKS, batched, serial):
+            for field in RESULT_FIELDS:
+                assert getattr(got, field) == getattr(want, field), (
+                    link, field,
+                )
+
+    @needs_ext
+    def test_compiled_and_fallback_batched_replays_agree(self):
+        """Batched replay is digest-identical across builds — the
+        compiled core must never become a cache axis."""
+        _trace, _state, config, tape, _result = record_small_tape()
+        off = [link for link in self.LINKS if link != REFERENCE_LINK_GBPS]
+        iscalars, packs = replay_packs(tape, SMALL_GPU, off)
+        compiled = tuple(
+            _event_core.replay_tape_many(
+                tape.cols, tape.warp_mlp, iscalars, packs
+            )
+        )
+        with _event_core.force_python():
+            fallback = tuple(
+                _event_core.replay_tape_many(
+                    tape.cols, tape.warp_mlp, iscalars, packs
+                )
+            )
+        assert compiled == fallback
+
+
+# ---------------------------------------------------------------------------
 # repro doctor.
 # ---------------------------------------------------------------------------
 class TestDoctorCLI:
@@ -348,6 +449,7 @@ class TestDoctorCLI:
         assert ("compiled" in out) or ("python" in out)
         assert "numpy:" in out
         assert str(tmp_path) in out
+        assert "tape cache:" in out
 
     def test_json_report(self, capsys, tmp_path):
         assert main(["doctor", "--json", "--cache-dir", str(tmp_path)]) == 0
@@ -356,6 +458,13 @@ class TestDoctorCLI:
         assert info["event_core"]["extension_abi"] == _event_core.EXT_ABI
         assert info["numpy"] == np.__version__
         assert info["cache"]["root"] == str(tmp_path)
+        from repro.gpusim.vector_sim import TAPE_FORMAT_VERSION
+
+        assert info["tape"] == {
+            "format_version": TAPE_FORMAT_VERSION,
+            "entries": 0,
+            "bytes": 0,
+        }
 
     def test_doctor_reflects_active_core(self, capsys, tmp_path):
         expected = (
