@@ -1,0 +1,177 @@
+"""Load generator for the always-on advisor service.
+
+Boots the batched :class:`repro.serve.AdvisorService`, fires bursts
+of synthetic allocation profiles at it, and pins the serving
+contracts end to end:
+
+* **no drops below capacity** — every burst stays within
+  ``max_pending``, so the back-pressure counter must read zero;
+* **coalescing** — the cold burst of N distinct profiles advances the
+  bulk evaluate counter at most ``ceil(N / max_batch)`` times;
+* **digest parity** — warm answers are digest-identical to the cold
+  answers for the same request (the hot cache serves bytes, it never
+  recomputes differently);
+* **throughput floor** — the warm phase sustains at least
+  :data:`MIN_WARM_PER_SEC` requests/second in-process (measured
+  headroom is ~5x; the TCP path is recorded, not floored, because
+  loopback performance varies more across CI hosts).
+
+Run directly: ``python benchmarks/bench_advisor_service.py``.  Under
+pytest, ``--json PATH`` records the measured numbers as a
+``repro-bench-trajectory/1`` artifact (see ``benchmarks/conftest.py``).
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.serve import (
+    AdviceRequest,
+    AdvisorClient,
+    AdvisorServer,
+    AdvisorService,
+    ServiceConfig,
+    build_histogram,
+)
+
+#: Distinct synthetic profiles in the working set.
+DISTINCT_PROFILES = 64
+#: Warm requests fired over the working set, in-process.
+WARM_REQUESTS = 3000
+#: Warm requests fired over TCP (recorded, not floored).
+TCP_REQUESTS = 1000
+#: Asserted warm in-process throughput floor, requests/second.
+MIN_WARM_PER_SEC = 1000.0
+
+SERVICE_CONFIG = ServiceConfig(
+    max_batch=64, max_delay=0.001, max_pending=4096
+)
+
+
+def synthetic_request(seed: int) -> AdviceRequest:
+    """One deterministic synthetic allocation profile."""
+    rng = np.random.default_rng(seed)
+    allocations, snapshots = 3, 4
+    counts = rng.integers(0, 50, size=(allocations, snapshots, 4))
+    zero_fit = rng.integers(0, counts[:, :, 0] + 1)
+    fractions = rng.uniform(0.05, 1.0, size=allocations)
+    names = tuple(f"alloc{i}" for i in range(allocations))
+    return AdviceRequest(
+        histogram=build_histogram(
+            f"synthetic-{seed}", names, fractions, counts, zero_fit
+        )
+    )
+
+
+async def _measure() -> dict:
+    requests = [
+        synthetic_request(seed) for seed in range(DISTINCT_PROFILES)
+    ]
+    service = AdvisorService(config=SERVICE_CONFIG)
+    async with service:
+        # -- cold: every profile is new work --------------------------
+        start = time.perf_counter()
+        cold = await asyncio.gather(
+            *(service.submit(request) for request in requests)
+        )
+        cold_seconds = time.perf_counter() - start
+        cold_evaluate_calls = service.bulk_evaluate_calls()
+
+        # -- warm: cycle the working set through the hot cache --------
+        start = time.perf_counter()
+        warm = await asyncio.gather(
+            *(
+                service.submit(requests[i % DISTINCT_PROFILES])
+                for i in range(WARM_REQUESTS)
+            )
+        )
+        warm_seconds = time.perf_counter() - start
+
+        # -- warm again, over the TCP transport -----------------------
+        async with AdvisorServer(service) as server:
+            client = await AdvisorClient.connect(server.host, server.port)
+            try:
+                start = time.perf_counter()
+                await asyncio.gather(
+                    *(
+                        client.advise(requests[i % DISTINCT_PROFILES])
+                        for i in range(TCP_REQUESTS)
+                    )
+                )
+                tcp_seconds = time.perf_counter() - start
+            finally:
+                await client.aclose()
+        stats = service.stats_json()
+
+    digest_parity = all(
+        warm[i].digest == cold[i % DISTINCT_PROFILES].digest
+        for i in range(WARM_REQUESTS)
+    )
+    return {
+        "distinct_profiles": DISTINCT_PROFILES,
+        "cold_per_sec": DISTINCT_PROFILES / cold_seconds,
+        "warm_per_sec": WARM_REQUESTS / warm_seconds,
+        "tcp_per_sec": TCP_REQUESTS / tcp_seconds,
+        "cold_evaluate_calls": cold_evaluate_calls,
+        "digest_parity": digest_parity,
+        "stats": stats,
+    }
+
+
+def _check(numbers: dict) -> None:
+    stats = numbers["stats"]["service"]
+    total = (
+        DISTINCT_PROFILES + WARM_REQUESTS + TCP_REQUESTS
+    )
+    assert stats["rejected"] == 0, (
+        f"{stats['rejected']} below-capacity drops out of {total} requests"
+    )
+    assert stats["completed"] == total
+    ceiling = -(-DISTINCT_PROFILES // SERVICE_CONFIG.max_batch)
+    assert numbers["cold_evaluate_calls"] <= ceiling, (
+        f"{numbers['cold_evaluate_calls']} bulk evaluate calls for "
+        f"{DISTINCT_PROFILES} cold requests (allowed {ceiling})"
+    )
+    assert numbers["stats"]["bulk_calls"]["profile"] == 0  # histograms
+    assert numbers["digest_parity"], "warm answers drifted from cold"
+    assert numbers["warm_per_sec"] >= MIN_WARM_PER_SEC, (
+        f"warm throughput {numbers['warm_per_sec']:.0f}/s is under the "
+        f"{MIN_WARM_PER_SEC:.0f}/s floor"
+    )
+
+
+def test_advisor_service_load(bench_json):
+    numbers = asyncio.run(_measure())
+    print(
+        f"\nadvisor load: cold {numbers['cold_per_sec']:.0f}/s, "
+        f"warm {numbers['warm_per_sec']:.0f}/s, "
+        f"tcp {numbers['tcp_per_sec']:.0f}/s, "
+        f"{numbers['stats']['service']['batches']} batch(es), "
+        f"largest {numbers['stats']['service']['largest_batch']}"
+    )
+    _check(numbers)
+    bench_json.record(
+        "advisor_service",
+        distinct_profiles=numbers["distinct_profiles"],
+        cold_per_sec=round(numbers["cold_per_sec"], 1),
+        warm_per_sec=round(numbers["warm_per_sec"], 1),
+        tcp_per_sec=round(numbers["tcp_per_sec"], 1),
+        cold_evaluate_calls=numbers["cold_evaluate_calls"],
+        batches=numbers["stats"]["service"]["batches"],
+        largest_batch=numbers["stats"]["service"]["largest_batch"],
+        rejected=numbers["stats"]["service"]["rejected"],
+        warm_floor_per_sec=MIN_WARM_PER_SEC,
+    )
+
+
+if __name__ == "__main__":
+    measured = asyncio.run(_measure())
+    _check(measured)
+    print(
+        f"cold {measured['cold_per_sec']:.0f}/s  "
+        f"warm {measured['warm_per_sec']:.0f}/s  "
+        f"tcp {measured['tcp_per_sec']:.0f}/s  "
+        f"evaluate calls {measured['cold_evaluate_calls']}  "
+        "all contracts hold"
+    )

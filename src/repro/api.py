@@ -1,6 +1,6 @@
 """The one-stop library facade: ``import repro; repro.api.run(...)``.
 
-Five verbs cover the experiment engine end to end, mirroring the CLI
+Six verbs cover the experiment engine end to end, mirroring the CLI
 commands one for one:
 
 * :func:`run` — one experiment, returning a typed :class:`RunResult`;
@@ -13,7 +13,11 @@ commands one for one:
 * :func:`report` — cache-only rendering: like :func:`run` but raising
   :class:`repro.engine.CacheMiss` instead of executing anything;
 * :func:`cache_stats` — a typed :class:`CacheStats` snapshot of the
-  shared on-disk result cache.
+  shared on-disk result cache;
+* :func:`advise` — one advisor answer, in-process (``repro serve``'s
+  one-shot form).  For a *running* ``repro serve`` instance, use the
+  re-exported :class:`AdvisorClient`
+  (``await AdvisorClient.connect(host, port)``).
 
 Every verb takes the same optional ``runner`` — an
 :class:`repro.engine.ExperimentRunner` controlling parallelism,
@@ -32,6 +36,23 @@ from repro.engine.cache import ResultCache, result_digest
 from repro.engine.planner import ExecutionReport, Plan
 from repro.engine.planner import plan as _plan
 from repro.engine.runner import ExperimentRunner, RunReport
+from repro.serve.protocol import Advice, AdviceRequest
+from repro.serve.server import AdvisorClient
+
+__all__ = [
+    "Advice",
+    "AdviceRequest",
+    "AdvisorClient",
+    "CacheStats",
+    "RunResult",
+    "SweepResults",
+    "advise",
+    "cache_stats",
+    "plan",
+    "report",
+    "run",
+    "sweep",
+]
 
 
 def _default_runner(offline: bool = False) -> ExperimentRunner:
@@ -142,6 +163,41 @@ def report(
     offline one (``ExperimentRunner(cache=..., offline=True)``).
     """
     return run(experiment, params, runner or _default_runner(offline=True))
+
+
+def advise(
+    request: AdviceRequest | None = None,
+    *,
+    cache: ResultCache | None = None,
+    config=None,
+    **fields,
+) -> Advice:
+    """One advisor answer, in-process (``repro serve``'s one-shot form).
+
+    Pass a prebuilt :class:`AdviceRequest`, or its fields directly::
+
+        advice = repro.api.advise(benchmark="VGG16", codec="bdi")
+        advice.recommendation["design"]
+
+    The answer is digest-identical to what a running service returns
+    for the same request, and to the per-benchmark payload of
+    ``repro run serve.advice``.  Malformed fields raise
+    :class:`repro.serve.InvalidRequest` (typed, with a stable
+    ``code``), never bare ``ValueError``.
+    """
+    from repro.serve.advisor import advise_one
+    from repro.serve.protocol import InvalidRequest
+
+    if request is None:
+        try:
+            request = AdviceRequest(**fields)
+        except TypeError as err:
+            raise InvalidRequest("bad-request", str(err)) from None
+    elif fields:
+        raise InvalidRequest(
+            "bad-request", "pass either a request or fields, not both"
+        )
+    return advise_one(request, cache=cache, config=config)
 
 
 def cache_stats(cache_dir: str | None = None) -> CacheStats:

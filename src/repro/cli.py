@@ -143,6 +143,18 @@ def _print_fig13(result) -> None:
     print(format_dl_tables(result))
 
 
+def _print_advice(results) -> None:
+    for name, payload in results.items():
+        rec = payload["recommendation"]
+        threshold = rec["threshold"]
+        threshold_text = "-" if threshold is None else f"{threshold:.2f}"
+        print(
+            f"{name:14s} {rec['design']:14s} t={threshold_text} "
+            f"{rec['compression_ratio']:5.2f}x "
+            f"{rec['buddy_entry_fraction']:.2%} buddy entries"
+        )
+
+
 FORMATTERS = {
     "compression.fig3": _print_fig3,
     "compression.fig7": _print_fig7,
@@ -154,6 +166,7 @@ FORMATTERS = {
     "um.fig12": _print_fig12,
     "dl.ratios": _print_dl_ratios,
     "dl.fig13": _print_fig13,
+    "serve.advice": _print_advice,
 }
 
 
@@ -507,6 +520,157 @@ def _cmd_check(args) -> int:
     return 0 if report.ok(strict=args.strict) else 1
 
 
+def _serve_components(args):
+    """Build the service + server pair from CLI flags."""
+    from repro.serve.hot import HotCache
+    from repro.serve.server import AdvisorServer
+    from repro.serve.service import AdvisorService, ServiceConfig
+    from repro.workloads.snapshots import SnapshotConfig
+
+    backing = None if args.no_cache else ResultCache(args.cache_dir)
+    service = AdvisorService(
+        hot=HotCache(backing=backing, max_entries=args.hot_entries),
+        config=ServiceConfig(
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0,
+            max_pending=args.max_pending,
+        ),
+        snapshot_config=(
+            SnapshotConfig(scale=args.scale) if args.scale else SnapshotConfig()
+        ),
+    )
+    return service, AdvisorServer(service, host=args.host, port=args.port)
+
+
+async def _serve_forever(args) -> int:
+    import asyncio
+
+    service, server = _serve_components(args)
+    async with service:
+        async with server:
+            print(
+                f"advisor listening on {server.host}:{server.port} "
+                f"(max batch {service.config.max_batch}, "
+                f"window {service.config.max_delay * 1000:g} ms, "
+                f"queue bound {service.config.max_pending})",
+                flush=True,
+            )
+            try:
+                await asyncio.Event().wait()  # serve until interrupted
+            except asyncio.CancelledError:
+                pass
+    return 0
+
+
+async def _serve_check(args) -> int:
+    """In-process self-test: boot, load, assert parity + coalescing.
+
+    Fires a burst of concurrent client requests over TCP, then checks
+    (1) zero below-capacity drops, (2) the batcher coalesced them into
+    at most ceil(N / max_batch) bulk profile/evaluate calls, and
+    (3) every answer's digest equals the one-shot ``repro run
+    serve.advice`` digest for the same question.  Exit 1 on any
+    failure — the CI serve job's gate.
+    """
+    import asyncio
+    import math
+
+    from repro.serve.protocol import DEFAULT_THRESHOLDS, DESIGNS, AdviceRequest
+    from repro.serve.server import AdvisorClient
+    from repro.workloads.snapshots import SnapshotConfig
+
+    benchmarks = tuple(args.benchmarks) or ("VGG16", "356.sp")
+    config = SnapshotConfig(scale=args.scale) if args.scale else SnapshotConfig()
+    #: Per benchmark: the default grid plus trimmed variants, so the
+    #: burst carries distinct requests that still share one tensor.
+    threshold_sets = (
+        DEFAULT_THRESHOLDS,
+        DEFAULT_THRESHOLDS[:3],
+        DEFAULT_THRESHOLDS[:2],
+    )
+    requests = [
+        AdviceRequest(benchmark=name, thresholds=thresholds)
+        for name in benchmarks
+        for thresholds in threshold_sets
+    ]
+
+    service, server = _serve_components(args)
+    failures = []
+    async with service:
+        async with server:
+            client = await AdvisorClient.connect(server.host, server.port)
+            try:
+                advices = await asyncio.gather(
+                    *(client.advise(request) for request in requests)
+                )
+            finally:
+                await client.aclose()
+    stats = service.stats_json()
+
+    if stats["service"]["rejected"]:
+        failures.append(
+            f"{stats['service']['rejected']} below-capacity rejection(s)"
+        )
+    ceiling = math.ceil(len(requests) / service.config.max_batch)
+    for kind in ("profile", "evaluate"):
+        calls = stats["bulk_calls"][kind]
+        if calls > ceiling:
+            failures.append(
+                f"{calls} bulk {kind} calls for {len(requests)} requests "
+                f"(allowed {ceiling})"
+            )
+
+    # Digest parity with the one-shot engine path, per benchmark.
+    runner = ExperimentRunner(cache=None)
+    for name in benchmarks:
+        value, _ = runner.run_report(
+            "serve.advice",
+            {
+                "benchmarks": (name,),
+                "codec": "bpc",
+                "thresholds": DEFAULT_THRESHOLDS,
+                "designs": DESIGNS,
+                "config": config,
+            },
+        )
+        oneshot = result_digest(value[name])
+        served = next(
+            advice
+            for request, advice in zip(requests, advices)
+            if request.benchmark == name
+            and request.thresholds == DEFAULT_THRESHOLDS
+        )
+        status = "ok" if served.digest == oneshot else "MISMATCH"
+        print(f"{name:14s} served {served.digest} one-shot {oneshot} {status}")
+        if served.digest != oneshot:
+            failures.append(f"digest mismatch for {name}")
+
+    print(
+        f"serve check: {len(requests)} requests, "
+        f"{stats['service']['batches']} batch(es), "
+        f"largest {stats['service']['largest_batch']}, "
+        f"{stats['bulk_calls']['profile']} bulk profile / "
+        f"{stats['bulk_calls']['evaluate']} bulk evaluate call(s), "
+        f"hot hits {stats['hot_cache']['hits']}"
+    )
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_serve(args) -> int:
+    """Boot the always-on advisor service (or its --check self-test)."""
+    import asyncio
+
+    if args.check:
+        return asyncio.run(_serve_check(args))
+    try:
+        return asyncio.run(_serve_forever(args))
+    except KeyboardInterrupt:
+        print("advisor stopped", file=sys.stderr)
+        return 0
+
+
 #: Sentinel distinguishing "--clear" (clear all) from "--clear EXP".
 _KEEP = object()
 
@@ -720,6 +884,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat warnings as failures (the CI gate)",
     )
     check.set_defaults(func=_cmd_check)
+
+    serve = commands.add_parser(
+        "serve",
+        help="always-on compression advisor: micro-batched admission, "
+        "shared hot cache, JSON-lines TCP protocol",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="most requests answered per bulk pipeline call",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="batching window after the first arrival, in milliseconds",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission-queue bound; beyond it requests are rejected "
+        "with a retry-after hint",
+    )
+    serve.add_argument(
+        "--hot-entries",
+        type=int,
+        default=512,
+        help="hot-cache residency bound (LRU-evicted past it)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk backing for the hot cache "
+        "(default: $REPRO_CACHE_DIR or .repro-cache/)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="memory-only hot cache, no disk backing",
+    )
+    serve.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="snapshot subsampling fraction for benchmark-backed "
+        "requests (default: the paper's 1/16384)",
+    )
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="self-test instead of serving: fire a concurrent burst, "
+        "assert coalescing and digest parity with 'repro run', exit 0/1",
+    )
+    serve.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmarks exercised by --check (default: VGG16, 356.sp)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     for alias in sorted(FIGURE_ALIASES) + ["fig6"]:
         figure = commands.add_parser(alias, help=f"paper {alias} (serial alias)")

@@ -79,6 +79,66 @@ class EvaluationResult:
         return float(np.mean([s.sector_fraction for s in self.per_snapshot]))
 
 
+#: Bulk selection-evaluation calls issued by this process.  One call
+#: evaluates any number of (tensor, selections) groups, so a batched
+#: server answering N coalesced requests advances this exactly once
+#: per admission batch — the coalescing contract is pinned against it
+#: the same way the profiler pins ``bulk_compression_call_count``.
+_EVALUATE_BULK_CALLS = 0
+
+
+def evaluate_bulk_call_count() -> int:
+    """Bulk selection evaluations executed by this process."""
+    return _EVALUATE_BULK_CALLS
+
+
+def record_evaluate_bulk_call() -> None:
+    """Record one bulk selection-evaluation call."""
+    global _EVALUATE_BULK_CALLS
+    _EVALUATE_BULK_CALLS += 1
+
+
+def evaluate_selections_batch(groups) -> list[list[EvaluationResult]]:
+    """Evaluate many selection groups in ONE bulk call.
+
+    ``groups`` is a sequence of ``(reference, benchmark, selections,
+    design_names)`` tuples, each pairing one reference
+    :class:`~repro.core.profile_tensor.ProfileTensor` with the
+    selections to measure against it.  Per group the result list is
+    element-wise identical to
+    :meth:`BuddyCompressor.evaluate_many` — the batch form exists so
+    concurrent callers (the advisor service's admission queue) can
+    coalesce their evaluations into a single counted call; the
+    counter-pinned tests assert N coalesced requests advance
+    :func:`evaluate_bulk_call_count` at most ``ceil(N / max_batch)``
+    times.
+    """
+    record_evaluate_bulk_call()
+    out: list[list[EvaluationResult]] = []
+    for reference, benchmark, selections, design_names in groups:
+        results = []
+        for selection, design_name in zip(selections, design_names):
+            indices = reference.selection_indices(selection)
+            entry_fractions, sector_fractions = reference.traffic(indices)
+            per_snapshot = [
+                SnapshotTraffic(index, float(entry), float(sectors))
+                for index, (entry, sectors) in enumerate(
+                    zip(entry_fractions, sector_fractions)
+                )
+            ]
+            results.append(
+                EvaluationResult(
+                    benchmark=benchmark,
+                    design=design_name,
+                    selection=selection,
+                    compression_ratio=reference.selection_ratio(indices),
+                    per_snapshot=per_snapshot,
+                )
+            )
+        out.append(results)
+    return out
+
+
 class BuddyCompressor:
     """Profile / annotate / evaluate pipeline for one configuration."""
 
@@ -159,26 +219,9 @@ class BuddyCompressor:
                 f"{len(selections)} selections"
             )
         reference = self.reference_tensor(benchmark)
-        results = []
-        for selection, design_name in zip(selections, design_names):
-            indices = reference.selection_indices(selection)
-            entry_fractions, sector_fractions = reference.traffic(indices)
-            per_snapshot = [
-                SnapshotTraffic(index, float(entry), float(sectors))
-                for index, (entry, sectors) in enumerate(
-                    zip(entry_fractions, sector_fractions)
-                )
-            ]
-            results.append(
-                EvaluationResult(
-                    benchmark=benchmark,
-                    design=design_name,
-                    selection=selection,
-                    compression_ratio=reference.selection_ratio(indices),
-                    per_snapshot=per_snapshot,
-                )
-            )
-        return results
+        return evaluate_selections_batch(
+            [(reference, benchmark, selections, design_names)]
+        )[0]
 
     def run(
         self, benchmark: str, design: DesignPoint = targets_mod.FINAL

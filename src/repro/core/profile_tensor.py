@@ -87,6 +87,84 @@ class ProfileTensor:
         if len(self.names) != self.counts.shape[0]:
             raise ValueError("names must match the allocation axis")
 
+    @classmethod
+    def from_payload(
+        cls,
+        benchmark: str,
+        names,
+        fractions,
+        counts,
+        zero_fit,
+    ) -> "ProfileTensor":
+        """Build a tensor from untrusted raw arrays, validating hard.
+
+        The advisor service accepts client-supplied histograms; this
+        is the single choke point where they are checked (finite,
+        integral, non-negative, shape-consistent, ``zero_fit`` within
+        bucket 0) before entering the pipeline.  Raises
+        :class:`ValueError` with a client-presentable message.
+        """
+        names = tuple(str(name) for name in names)
+        if not names:
+            raise ValueError("profile must contain at least one allocation")
+        if len(dict.fromkeys(names)) != len(names):
+            raise ValueError("allocation names must be unique")
+
+        def as_int_array(label: str, raw, ndim: int) -> np.ndarray:
+            array = np.asarray(raw)
+            if array.dtype.kind not in "iuf" or array.dtype.kind == "c":
+                raise ValueError(f"{label} must be numeric")
+            if array.ndim != ndim:
+                raise ValueError(f"{label} must be {ndim}-dimensional")
+            values = array.astype(np.float64)
+            if not np.all(np.isfinite(values)):
+                raise ValueError(f"{label} must be finite (no NaN/inf)")
+            if np.any(values < 0):
+                raise ValueError(f"{label} must be non-negative")
+            if not np.all(values == np.floor(values)):
+                raise ValueError(f"{label} must be whole entry counts")
+            return values.astype(np.int64)
+
+        counts = as_int_array("counts", counts, 3)
+        if counts.shape[2] != SECTORS_PER_ENTRY:
+            raise ValueError(
+                f"counts must have {SECTORS_PER_ENTRY} sector buckets; "
+                f"got {counts.shape[2]}"
+            )
+        if counts.shape[0] != len(names):
+            raise ValueError(
+                f"counts covers {counts.shape[0]} allocations for "
+                f"{len(names)} names"
+            )
+        zero_fit = as_int_array("zero_fit", zero_fit, 2)
+        if zero_fit.shape != counts.shape[:2]:
+            raise ValueError(
+                f"zero_fit shape {zero_fit.shape} does not match "
+                f"counts {counts.shape[:2]}"
+            )
+        if np.any(zero_fit > counts[:, :, 0]):
+            raise ValueError(
+                "zero_fit exceeds bucket-0 counts (zero-page entries "
+                "are a subset of one-sector entries)"
+            )
+        fractions = np.asarray(fractions, dtype=np.float64)
+        if fractions.ndim != 1 or fractions.size != len(names):
+            raise ValueError("fractions must give one value per allocation")
+        if not np.all(np.isfinite(fractions)):
+            raise ValueError("fractions must be finite (no NaN/inf)")
+        if np.any(fractions < 0) or float(fractions.sum()) <= 0.0:
+            raise ValueError(
+                "fractions must be non-negative and sum to a positive "
+                "footprint"
+            )
+        return cls(
+            benchmark=str(benchmark),
+            names=names,
+            fractions=fractions,
+            counts=counts,
+            zero_fit=zero_fit,
+        )
+
     # -- shape -----------------------------------------------------------
     @property
     def allocation_count(self) -> int:

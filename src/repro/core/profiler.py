@@ -244,6 +244,12 @@ _TENSOR_MEMO: dict[tuple, ProfileTensor] = {}
 #: Engine result cache for tensors (installed by the experiment runner).
 _TENSOR_CACHE = None
 
+#: Whether the per-process memos above are consulted at all.  The
+#: advisor service disables them after installing its own hot cache
+#: via :func:`set_tensor_cache`, so residency (and the hit/miss stats
+#: the service reports) live in exactly one layer.
+_TENSOR_MEMO_ENABLED = True
+
 #: Modules whose source forms the on-disk tensor cache's code salt.
 #: The compression algorithm's own defining module is appended per
 #: call (see :func:`profile_tensor`), so editing any compressor
@@ -319,6 +325,21 @@ def set_tensor_cache(cache):
     global _TENSOR_CACHE
     previous = _TENSOR_CACHE
     _TENSOR_CACHE = cache
+    return previous
+
+
+def set_tensor_memo_enabled(enabled: bool) -> bool:
+    """Enable/disable the per-process tensor memos; returns previous.
+
+    With the memo disabled, every lookup goes straight to the
+    installed tensor cache (see :func:`set_tensor_cache`) — the hook
+    the advisor service uses to promote the memo to its shared hot
+    cache, whose admission/eviction policy and per-namespace counters
+    would otherwise be bypassed by memo hits.
+    """
+    global _TENSOR_MEMO_ENABLED
+    previous = _TENSOR_MEMO_ENABLED
+    _TENSOR_MEMO_ENABLED = enabled
     return previous
 
 
@@ -438,7 +459,7 @@ def profile_tensors_bulk(
         if name in tensors:
             continue
         memo_key = (name, config, _algorithm_key(algorithm))
-        tensor = _TENSOR_MEMO.get(memo_key)
+        tensor = _TENSOR_MEMO.get(memo_key) if _TENSOR_MEMO_ENABLED else None
         if tensor is None and _TENSOR_CACHE is not None:
             from repro.engine.cache import CacheMiss
 
@@ -448,7 +469,7 @@ def profile_tensors_bulk(
                 )
             except CacheMiss:
                 tensor = None
-            if tensor is not None:
+            if tensor is not None and _TENSOR_MEMO_ENABLED:
                 _TENSOR_MEMO[memo_key] = tensor
         if tensor is None:
             missing.append(name)
@@ -471,9 +492,10 @@ def profile_tensors_bulk(
             _PROFILE_PASSES += 1
             if built is not None:
                 built.append(run.benchmark)
-            _TENSOR_MEMO[(run.benchmark, config, _algorithm_key(algorithm))] = (
-                tensor
-            )
+            if _TENSOR_MEMO_ENABLED:
+                _TENSOR_MEMO[
+                    (run.benchmark, config, _algorithm_key(algorithm))
+                ] = tensor
             if _TENSOR_CACHE is not None:
                 _TENSOR_CACHE.put(
                     tensor_cache_key(run.benchmark, config, algorithm), tensor
@@ -504,7 +526,7 @@ def profile_tensor(
     algorithm = algorithm or BPCCompressor()
     name = get_benchmark(benchmark).name
     memo_key = (name, config, _algorithm_key(algorithm))
-    tensor = _TENSOR_MEMO.get(memo_key)
+    tensor = _TENSOR_MEMO.get(memo_key) if _TENSOR_MEMO_ENABLED else None
     if tensor is not None:
         return tensor
 
@@ -518,12 +540,14 @@ def profile_tensor(
         except CacheMiss:
             tensor = None
         if tensor is not None:
-            _TENSOR_MEMO[memo_key] = tensor
+            if _TENSOR_MEMO_ENABLED:
+                _TENSOR_MEMO[memo_key] = tensor
             return tensor
 
     tensor = tensor_from_snapshots(name, generate_run(name, config), algorithm)
     _PROFILE_PASSES += 1
-    _TENSOR_MEMO[memo_key] = tensor
+    if _TENSOR_MEMO_ENABLED:
+        _TENSOR_MEMO[memo_key] = tensor
     if cache_key is not None:
         _TENSOR_CACHE.put(cache_key, tensor)
     return tensor
@@ -556,7 +580,7 @@ def entry_state_tensor(
     config = config or SnapshotConfig()
     name = get_benchmark(benchmark).name
     memo_key = (name, config, int(index))
-    state = _ENTRY_STATE_MEMO.get(memo_key)
+    state = _ENTRY_STATE_MEMO.get(memo_key) if _TENSOR_MEMO_ENABLED else None
     if state is not None:
         return state
 
@@ -570,12 +594,14 @@ def entry_state_tensor(
         except CacheMiss:
             state = None
         if state is not None:
-            _ENTRY_STATE_MEMO[memo_key] = state
+            if _TENSOR_MEMO_ENABLED:
+                _ENTRY_STATE_MEMO[memo_key] = state
             return state
 
     state = generate_snapshot(name, index, config).entry_state()
     _ENTRY_STATE_BUILDS += 1
-    _ENTRY_STATE_MEMO[memo_key] = state
+    if _TENSOR_MEMO_ENABLED:
+        _ENTRY_STATE_MEMO[memo_key] = state
     if cache_key is not None:
         _TENSOR_CACHE.put(cache_key, state)
     return state

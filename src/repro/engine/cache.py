@@ -172,6 +172,20 @@ class CacheStats:
         row = self.per_namespace.setdefault(namespace, [0, 0, 0])
         row[slot] += 1
 
+    def as_json(self) -> dict:
+        """JSON-shaped counters (the advisor service's stats report)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "scans": self.scans,
+            "per_namespace": {
+                namespace: {"hits": row[0], "misses": row[1], "stores": row[2]}
+                for namespace, row in sorted(self.per_namespace.items())
+            },
+        }
+
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses

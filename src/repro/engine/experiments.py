@@ -17,6 +17,7 @@ Registered experiments::
     um.fig12           UM / pinned oversubscription slowdowns (Fig. 12)
     dl.ratios          per-network buddy compression ratios
     dl.fig13           the four DL case-study panels (Fig. 13)
+    serve.advice       the advisor service's answer, one-shot form
 
 The two timing studies carry an ``engine`` parameter
 ("vectorized" / "relaxed" / "legacy", see docs/engines.md) and a
@@ -590,6 +591,46 @@ register(
         + _DLMODEL_MODULES
         + ("repro.analysis.dl_study",),
         plan_point=_dl_ratio_plan,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# serve.advice
+# ---------------------------------------------------------------------------
+def _advice_defaults() -> dict:
+    from repro.serve.protocol import DEFAULT_THRESHOLDS, DESIGNS
+    from repro.workloads.snapshots import SnapshotConfig
+
+    return {
+        "benchmarks": _benchmark_names(),
+        "codec": "bpc",
+        "thresholds": DEFAULT_THRESHOLDS,
+        "designs": DESIGNS,
+        "config": SnapshotConfig(),
+    }
+
+
+def _advice_point(point: dict):
+    from repro.serve.advisor import advice_point
+
+    return advice_point(point)
+
+
+register(
+    Experiment(
+        name="serve.advice",
+        title="Advisor answer: codec/threshold/design per profile",
+        defaults=_advice_defaults,
+        expand=_per_benchmark_expand,
+        run_point=_advice_point,
+        aggregate=_keyed_by_benchmark,
+        salt_modules=_PIPELINE_MODULES
+        + _CODEC_COMPARISON_MODULES
+        + (
+            "repro.serve.advisor",
+            "repro.serve.protocol",
+        ),
     )
 )
 

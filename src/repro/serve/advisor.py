@@ -1,0 +1,268 @@
+"""The advisor's answer path: profile -> select -> evaluate -> rank.
+
+:func:`advise_batch` is the single entry point both the asyncio
+service and the registered ``serve.advice`` experiment call, so a
+batched concurrent answer is byte-identical to a one-shot ``repro
+run serve.advice`` answer for the same question.  Batch structure
+mirrors the planner's coalescing contract:
+
+* all missing benchmark profiles of a batch that share a (codec,
+  snapshot config) resolve through ONE
+  :func:`repro.core.profiler.profile_tensors_bulk` call (one bulk
+  ``compressed_sizes`` pass), and
+* all selection evaluations of a batch flow through ONE
+  :func:`repro.core.controller.evaluate_selections_batch` call,
+
+so N coalesced requests advance the two bulk-call counters at most
+``ceil(N / max_batch)`` times — the counter-pinned tests assert it.
+
+Answers are memoised under the ``serve.advice`` cache namespace keyed
+by the request's parameter digest (same salt discipline as every
+experiment), which is what the service's shared hot cache stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import targets as targets_mod
+from repro.core.controller import evaluate_selections_batch
+from repro.core.profile_tensor import ProfileTensor
+from repro.core.profiler import profile_tensors_bulk
+from repro.serve.protocol import CODECS, Advice, AdviceRequest
+from repro.workloads.snapshots import SnapshotConfig
+
+#: The registered experiment this module is the run point of.
+ADVICE_EXPERIMENT = "serve.advice"
+
+
+def advice_salt() -> str:
+    """Code salt of the ``serve.advice`` experiment (single source)."""
+    from repro.engine.cache import code_salt
+    from repro.engine.registry import get_experiment
+
+    return code_salt(get_experiment(ADVICE_EXPERIMENT).salt_modules)
+
+
+def request_cache_key(request: AdviceRequest):
+    """On-disk / hot-cache address of one request's answer."""
+    from repro.engine.cache import CacheKey, param_digest
+
+    return CacheKey(
+        ADVICE_EXPERIMENT,
+        param_digest(ADVICE_EXPERIMENT, request.payload(), advice_salt()),
+    )
+
+
+@dataclass
+class _Candidate:
+    """One (design, threshold) evaluation slot of one request."""
+
+    design: str
+    threshold: float | None
+    group: int  # index into the evaluate_selections_batch groups
+    slot: int  # position within that group's selections
+
+
+def _candidate_selections(
+    tensor: ProfileTensor, request: AdviceRequest
+) -> list[tuple[str, float | None, dict]]:
+    """Every (design, threshold, selection) the request asks about.
+
+    Selections come from the same :mod:`repro.core.targets` policies
+    the figure studies use; the per-allocation threshold sweep reduces
+    over one worst-overflow matrix exactly like Fig. 9's hot path.
+    """
+    thresholds = tuple(float(t) for t in request.thresholds)
+    per_alloc_rows = None
+    if "per-allocation" in request.designs or "final" in request.designs:
+        per_alloc_rows = targets_mod.select_per_allocation_indices(
+            tensor, thresholds
+        )
+    out: list[tuple[str, float | None, dict]] = []
+    for design in request.designs:
+        if design == "naive":
+            indices = targets_mod.select_naive_indices(tensor)
+            out.append(
+                (design, None, tensor.selection_from_indices(indices))
+            )
+            continue
+        for row, threshold in enumerate(thresholds):
+            indices = per_alloc_rows[row]
+            if design == "final":
+                indices = targets_mod.apply_zero_page_indices(indices, tensor)
+            out.append(
+                (design, threshold, tensor.selection_from_indices(indices))
+            )
+    return out
+
+
+def _recommend(evaluations: list[dict], budget: float | None) -> dict:
+    """Pick the answer: best ratio within the buddy-traffic budget.
+
+    Candidates over ``budget`` (buddy-entry fraction) are dropped; if
+    none fit, the least-traffic candidate stands in so the client
+    always gets a ranked answer.  Ties break toward lower sector
+    traffic, then earlier (request) order — all deterministic.
+    """
+    pool = evaluations
+    if budget is not None:
+        within = [e for e in pool if e["buddy_entry_fraction"] <= budget]
+        if not within:
+            floor = min(e["buddy_entry_fraction"] for e in pool)
+            within = [e for e in pool if e["buddy_entry_fraction"] == floor]
+        pool = within
+    best = pool[0]
+    for entry in pool[1:]:
+        if entry["compression_ratio"] > best["compression_ratio"]:
+            best = entry
+        elif (
+            entry["compression_ratio"] == best["compression_ratio"]
+            and entry["buddy_sector_fraction"] < best["buddy_sector_fraction"]
+        ):
+            best = entry
+    return dict(best)
+
+
+def advise_batch(
+    requests,
+    cache=None,
+    config: SnapshotConfig | None = None,
+) -> list[Advice]:
+    """Answer a batch of requests through one coalesced pipeline pass.
+
+    ``cache`` is any object with the
+    :class:`~repro.engine.cache.ResultCache` get/put protocol (the
+    service passes its hot cache); answered payloads are stored under
+    the ``serve.advice`` namespace.  ``config`` is the base snapshot
+    configuration benchmark-backed requests profile under (requests
+    carrying ``scale`` override it per request).
+    """
+    requests = list(requests)
+    for request in requests:
+        request.validate()
+    base_config = config or SnapshotConfig()
+    salt_key = [request_cache_key(request) for request in requests]
+
+    from repro.engine.cache import CacheMiss, result_digest
+
+    payloads: dict[int, dict] = {}
+    if cache is not None:
+        for position, key in enumerate(salt_key):
+            try:
+                payloads[position] = cache.get(key)
+            except CacheMiss:
+                pass
+
+    # -- resolve profile tensors for the misses ------------------------
+    misses = [i for i in range(len(requests)) if i not in payloads]
+    tensors: dict[int, ProfileTensor] = {}
+    profile_groups: dict[tuple, list[int]] = {}
+    for position in misses:
+        request = requests[position]
+        if request.histogram is not None:
+            tensors[position] = request.histogram.tensor()
+            continue
+        cfg = base_config
+        if request.scale is not None:
+            cfg = replace(base_config, scale=float(request.scale))
+        profile_groups.setdefault((request.codec, cfg), []).append(position)
+    for (codec, cfg), positions in profile_groups.items():
+        algorithm = CODECS[codec]()
+        built = profile_tensors_bulk(
+            [requests[p].benchmark for p in positions], cfg, algorithm
+        )
+        for position in positions:
+            tensors[position] = built[requests[position].benchmark]
+
+    # -- one bulk evaluation call for the whole batch ------------------
+    groups: list[tuple] = []
+    group_of: dict[int, int] = {}  # id(tensor) -> group index
+    candidates: dict[int, list[_Candidate]] = {}
+    for position in misses:
+        tensor = tensors[position]
+        for design, threshold, selection in _candidate_selections(
+            tensor, requests[position]
+        ):
+            index = group_of.get(id(tensor))
+            if index is None:
+                index = len(groups)
+                group_of[id(tensor)] = index
+                groups.append((tensor, tensor.benchmark, [], []))
+            _, _, selections, names = groups[index]
+            candidates.setdefault(position, []).append(
+                _Candidate(design, threshold, index, len(selections))
+            )
+            selections.append(selection)
+            names.append(design)
+    evaluated = evaluate_selections_batch(groups) if groups else []
+
+    # -- assemble payloads ---------------------------------------------
+    for position in misses:
+        request = requests[position]
+        tensor = tensors[position]
+        evaluations = []
+        for candidate in candidates[position]:
+            result = evaluated[candidate.group][candidate.slot]
+            evaluations.append(
+                {
+                    "design": candidate.design,
+                    "threshold": candidate.threshold,
+                    "compression_ratio": float(result.compression_ratio),
+                    "buddy_entry_fraction": float(
+                        result.buddy_access_fraction
+                    ),
+                    "buddy_sector_fraction": float(
+                        result.buddy_sector_fraction
+                    ),
+                    "selection": {
+                        name: ratio.value
+                        for name, ratio in result.selection.items()
+                    },
+                }
+            )
+        payload = {
+            "benchmark": tensor.benchmark,
+            "codec": request.codec,
+            "evaluations": evaluations,
+            "recommendation": _recommend(
+                evaluations, request.max_buddy_fraction
+            ),
+        }
+        payloads[position] = payload
+        if cache is not None:
+            cache.put(salt_key[position], payload)
+
+    return [
+        Advice(
+            request_digest=salt_key[position].digest,
+            payload=payloads[position],
+            digest=result_digest(payloads[position]),
+        )
+        for position in range(len(requests))
+    ]
+
+
+def advise_one(
+    request: AdviceRequest,
+    cache=None,
+    config: SnapshotConfig | None = None,
+) -> Advice:
+    """One-shot form of :func:`advise_batch` (a batch of one)."""
+    return advise_batch([request], cache=cache, config=config)[0]
+
+
+def advice_point(point: dict) -> dict:
+    """``serve.advice`` experiment run point (one benchmark's answer).
+
+    Returns the same payload dict the service answers with, so
+    ``result_digest`` of a service answer equals ``result_digest`` of
+    this point's value — the digest-parity contract.
+    """
+    request = AdviceRequest(
+        benchmark=point["benchmark"],
+        codec=point["codec"],
+        thresholds=tuple(point["thresholds"]),
+        designs=tuple(point["designs"]),
+    )
+    return advise_one(request, config=point["config"]).payload

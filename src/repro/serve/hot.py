@@ -1,0 +1,145 @@
+"""The service's shared hot cache: a memory LRU over the result cache.
+
+The per-process tensor memo (:mod:`repro.core.profiler`) is a plain
+unbounded dict — fine for one sweep, wrong for an always-on service.
+:class:`HotCache` promotes it to a managed layer: bounded LRU memory
+residency over an optional on-disk
+:class:`~repro.engine.cache.ResultCache` backing, speaking the same
+``get``/``put``/:class:`~repro.engine.cache.CacheMiss` protocol, so
+the profiler (via :func:`repro.core.profiler.set_tensor_cache`) and
+the advisor's answer memo share one hot layer across every namespace
+(``profile.tensor``, ``profile.entries``, ``serve.advice``).
+
+Policy:
+
+* **admission** — writes are always admitted (the service just paid
+  to compute the value); *read promotions* from the backing store are
+  admitted only after ``admit_after`` sightings, so a one-off scan
+  cannot flush the working set;
+* **eviction** — least-recently-used beyond ``max_entries`` (and,
+  optionally, ``max_bytes`` of pickled payload);
+* **stats** — an engine :class:`~repro.engine.cache.CacheStats` with
+  per-namespace hit/miss/store rows (``stats.per_namespace``), which
+  the service surfaces in its stats report.
+
+Single-threaded by design: the service calls it from one event loop,
+so there is no locking.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+
+from repro.engine.cache import CacheKey, CacheMiss, CacheStats, ResultCache
+
+
+class HotCache:
+    """Bounded in-memory LRU over an optional on-disk backing cache.
+
+    Args:
+        backing: Optional :class:`~repro.engine.cache.ResultCache`
+            (or anything with its get/put protocol) consulted on
+            memory misses and written through on stores.
+        max_entries: Memory residency bound (LRU beyond it).
+        max_bytes: Optional bound on the summed pickled size of
+            resident values.
+        admit_after: Backing-store read promotions enter memory only
+            once a key has been seen this many times (1 = always).
+    """
+
+    def __init__(
+        self,
+        backing: ResultCache | None = None,
+        max_entries: int = 512,
+        max_bytes: int | None = None,
+        admit_after: int = 1,
+    ) -> None:
+        self.backing = backing
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.admit_after = admit_after
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, tuple[object, int]] = OrderedDict()
+        self._bytes = 0
+        self._seen: dict[CacheKey, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> int:
+        """Resident entry count."""
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Approximate pickled size of the resident values."""
+        return self._bytes
+
+    def contains(self, key: CacheKey) -> bool:
+        return key in self._entries or (
+            self.backing is not None and self.backing.contains(key)
+        )
+
+    def get(self, key: CacheKey):
+        """Memory first, then backing; raises :class:`CacheMiss`.
+
+        A memory hit refreshes recency.  A backing hit may be
+        promoted into memory (see ``admit_after``); a miss in both
+        layers counts one miss here and raises.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.bump(key.experiment, 0)
+            return entry[0]
+        self.stats.misses += 1
+        self.stats.bump(key.experiment, 1)
+        if self.backing is None:
+            raise CacheMiss(f"{key.experiment}/{key.digest}")
+        value = self.backing.get(key)  # raises CacheMiss when absent
+        sightings = self._seen.get(key, 0) + 1
+        if sightings >= self.admit_after:
+            self._seen.pop(key, None)
+            self._admit(key, value)
+        else:
+            self._seen[key] = sightings
+        return value
+
+    def put(self, key: CacheKey, value) -> None:
+        """Write through to the backing store and admit to memory."""
+        if self.backing is not None:
+            self.backing.put(key, value)
+        self.stats.stores += 1
+        self.stats.bump(key.experiment, 2)
+        self._admit(key, value)
+
+    def clear(self) -> None:
+        """Drop the memory layer (the backing store is untouched)."""
+        self._entries.clear()
+        self._seen.clear()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def _admit(self, key: CacheKey, value) -> None:
+        size = self._sizeof(value)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._entries[key] = (value, size)
+        self._bytes += size
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and self._bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._bytes -= evicted_size
+            self.stats.evictions += 1
+
+    @staticmethod
+    def _sizeof(value) -> int:
+        try:
+            return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            return 0

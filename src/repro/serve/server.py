@@ -1,0 +1,283 @@
+"""JSON-lines TCP transport for the advisor service, plus the client.
+
+Wire protocol (one JSON object per line, UTF-8):
+
+request::
+
+    {"id": 7, "request": {"benchmark": "VGG16", "codec": "bpc", ...}}
+
+success::
+
+    {"id": 7, "ok": true,
+     "advice": {"request_digest": ..., "digest": ..., "payload": ...}}
+
+failure::
+
+    {"id": 7, "ok": false,
+     "error": {"kind": "invalid-request" | "overloaded" | "closed"
+               | "internal",
+               "code": "...",          # InvalidRequest's stable code
+               "message": "...",
+               "retry_after": 0.05}}   # overloaded only
+
+Back-pressure and validation failures are *protocol answers*, never
+dropped connections: a client that floods the queue gets
+``overloaded`` lines with a retry hint (HTTP 429 in spirit) while
+already-admitted requests keep completing.  ``stats`` requests
+(``{"id": N, "stats": true}``) return the service's counter report.
+
+:class:`AdvisorClient` is the matching asyncio client; it multiplexes
+concurrent :meth:`AdvisorClient.advise` calls over one connection and
+re-raises the service's typed errors
+(:class:`~repro.serve.protocol.InvalidRequest`,
+:class:`~repro.serve.protocol.ServiceOverloaded`,
+:class:`~repro.serve.protocol.ServiceClosed`) client-side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.protocol import (
+    Advice,
+    AdviceError,
+    AdviceRequest,
+    InvalidRequest,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.serve.service import AdvisorService
+
+
+def _error_body(err: Exception) -> dict:
+    if isinstance(err, InvalidRequest):
+        return {
+            "kind": "invalid-request",
+            "code": err.code,
+            "message": err.message,
+        }
+    if isinstance(err, ServiceOverloaded):
+        return {
+            "kind": "overloaded",
+            "message": str(err),
+            "retry_after": err.retry_after,
+        }
+    if isinstance(err, ServiceClosed):
+        return {"kind": "closed", "message": str(err)}
+    return {"kind": "internal", "message": f"{type(err).__name__}: {err}"}
+
+
+def _error_from_body(body: dict) -> Exception:
+    kind = body.get("kind")
+    if kind == "invalid-request":
+        return InvalidRequest(body.get("code", "bad-request"), body["message"])
+    if kind == "overloaded":
+        return ServiceOverloaded(float(body.get("retry_after", 0.0)))
+    if kind == "closed":
+        return ServiceClosed(body["message"])
+    return AdviceError(body.get("message", "internal advisor error"))
+
+
+class AdvisorServer:
+    """Serves one :class:`~repro.serve.service.AdvisorService` over TCP."""
+
+    def __init__(
+        self,
+        service: AdvisorService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.port = bound[1]
+        return bound[0], bound[1]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "AdvisorServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                # One task per request: a slow (batched) answer must
+                # not stall the next request on the same connection.
+                task = asyncio.ensure_future(
+                    self._answer(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _answer(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = None
+        try:
+            body = json.loads(line)
+            request_id = body.get("id") if isinstance(body, dict) else None
+            if not isinstance(body, dict):
+                raise InvalidRequest(
+                    "bad-request", "request line must be a JSON object"
+                )
+            if body.get("stats"):
+                response = {
+                    "id": request_id,
+                    "ok": True,
+                    "stats": self.service.stats_json(),
+                }
+            else:
+                request = AdviceRequest.from_json(body.get("request"))
+                advice = await self.service.submit(request)
+                response = {
+                    "id": request_id,
+                    "ok": True,
+                    "advice": advice.to_json(),
+                }
+        except json.JSONDecodeError as err:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": _error_body(
+                    InvalidRequest("bad-request", f"invalid JSON: {err}")
+                ),
+            }
+        except Exception as err:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": _error_body(err),
+            }
+        payload = json.dumps(response).encode("utf-8") + b"\n"
+        async with write_lock:
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+
+class AdvisorClient:
+    """Asyncio client for a running :class:`AdvisorServer`.
+
+    Multiplexes concurrent :meth:`advise` calls over one connection by
+    request id; typed service errors re-raise in the caller.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._waiting: dict[int, asyncio.Future] = {}
+        self._pump: asyncio.Task | None = asyncio.ensure_future(
+            self._read_responses()
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AdvisorClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+            self._pump = None
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(ServiceClosed("client closed"))
+        self._waiting.clear()
+
+    async def __aenter__(self) -> "AdvisorClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    async def advise(self, request: AdviceRequest) -> Advice:
+        """Send one request and await its advice (or typed error)."""
+        body = await self._roundtrip({"request": request.to_json()})
+        return Advice.from_json(body["advice"])
+
+    async def stats(self) -> dict:
+        """The service's counter report (service/bulk/hot-cache)."""
+        body = await self._roundtrip({"stats": True})
+        return body["stats"]
+
+    async def _roundtrip(self, body: dict) -> dict:
+        self._next_id += 1
+        request_id = self._next_id
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[request_id] = future
+        line = json.dumps({"id": request_id, **body}).encode("utf-8") + b"\n"
+        self._writer.write(line)
+        await self._writer.drain()
+        try:
+            return await future
+        finally:
+            self._waiting.pop(request_id, None)
+
+    async def _read_responses(self) -> None:
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                broken = ServiceClosed("advisor connection closed")
+                for future in self._waiting.values():
+                    if not future.done():
+                        future.set_exception(broken)
+                return
+            body = json.loads(line)
+            future = self._waiting.get(body.get("id"))
+            if future is None or future.done():
+                continue
+            if body.get("ok"):
+                future.set_result(body)
+            else:
+                future.set_exception(_error_from_body(body["error"]))

@@ -75,6 +75,25 @@ _TIME_CALLS = {
 _DIR_CALLS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
 _DIR_METHODS = {"iterdir", "glob", "rglob"}
 
+#: Packages linted in full even where salt reachability does not reach
+#: them.  The advisor service (``repro.serve``) computes digest-pinned
+#: answers from a long-running process, so *all* of it must be free of
+#: wall-clock/randomness/ordering hazards — not just the two modules
+#: the ``serve.advice`` experiment declares in its salts.
+EXTRA_SCOPE_PACKAGES: tuple[str, ...] = ("repro.serve",)
+
+#: Modules inside the extra scope exempt from the lint: the batching
+#: clock is the service's single sanctioned wall-clock seam (tests
+#: replace it with virtual time; answers never depend on it).
+EXTRA_SCOPE_EXEMPT: tuple[str, ...] = ("repro.serve.clock",)
+
+
+def _rebased(name: str, ctx: Context) -> str:
+    """Rebase a ``repro.``-rooted dotted name onto a fixture package."""
+    if ctx.package == "repro":
+        return name
+    return ctx.package + name[len("repro"):]
+
 
 def _import_aliases(tree: ast.Module) -> dict[str, str]:
     """Local name -> dotted origin, for every import in the file."""
@@ -333,6 +352,15 @@ def determinism_scope(ctx: Context) -> list[str]:
         )
         reach = reachable(ctx, roots, exempt)
         scope.update(salt_relevant(ctx, reach, exempt))
+    clock_exempt = {_rebased(name, ctx) for name in EXTRA_SCOPE_EXEMPT}
+    for package in EXTRA_SCOPE_PACKAGES:
+        prefix = _rebased(package, ctx)
+        scope.update(
+            module
+            for module in ctx.modules()
+            if (module == prefix or module.startswith(prefix + "."))
+            and module not in clock_exempt
+        )
     return sorted(scope)
 
 

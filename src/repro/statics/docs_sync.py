@@ -36,6 +36,7 @@ DOC_FILES = (
     "docs/architecture.md",
     "docs/engines.md",
     "docs/planner.md",
+    "docs/serving.md",
     "docs/statics.md",
 )
 
@@ -44,6 +45,7 @@ REQUIRED_README_LINKS = (
     "docs/architecture.md",
     "docs/engines.md",
     "docs/planner.md",
+    "docs/serving.md",
     "docs/statics.md",
 )
 

@@ -5,8 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.statics.determinism import (
+    EXTRA_SCOPE_EXEMPT,
+    EXTRA_SCOPE_PACKAGES,
     SANCTIONED_ENV,
     DeterminismLintPass,
+    determinism_scope,
     lint_module,
 )
 from tests.statics.fixtures import fixture_context
@@ -154,3 +157,73 @@ def test_pass_scopes_to_configured_modules(tmp_path):
 def test_sanctioned_list_is_the_documented_one():
     assert "REPRO_NO_EXT" in SANCTIONED_ENV
     assert "REPRO_CACHE_DIR" in SANCTIONED_ENV
+
+
+# ---------------------------------------------------------------------------
+# The serve-package scope extension: the whole advisor service is
+# linted (it answers digest-pinned requests from a long-running
+# process), with exactly the batching-clock module exempt.
+# ---------------------------------------------------------------------------
+_SERVE_FIXTURE = {
+    "src/fixpkg/__init__.py": "",
+    "src/fixpkg/engine/__init__.py": "",
+    "src/fixpkg/engine/registry.py": (
+        "def register(experiment):\n    return experiment\n\n\n"
+        "class Experiment:\n"
+        "    def __init__(self, **kwargs):\n"
+        "        self.__dict__.update(kwargs)\n"
+    ),
+    "src/fixpkg/engine/experiments.py": (
+        "from fixpkg.engine.registry import Experiment, register\n"
+        "\n"
+        "\n"
+        "def _point(point):\n"
+        "    return point\n"
+        "\n"
+        "\n"
+        "register(\n"
+        "    Experiment(\n"
+        '        name="demo.fig1",\n'
+        "        run_point=_point,\n"
+        "        salt_modules=(),\n"
+        "    )\n"
+        ")\n"
+    ),
+    "src/fixpkg/serve/__init__.py": "",
+    # Planted violation: a wall-clock read OUTSIDE the clock module.
+    "src/fixpkg/serve/service.py": (
+        "import time\n\n\ndef window_deadline(delay):\n"
+        "    return time.monotonic() + delay\n"
+    ),
+    # The sanctioned seam: same construct, exempt module.
+    "src/fixpkg/serve/clock.py": (
+        "import time\n\n\ndef now():\n    return time.monotonic()\n"
+    ),
+}
+
+
+def test_serve_package_is_linted_with_the_clock_exempt(tmp_path):
+    ctx = fixture_context(tmp_path, _SERVE_FIXTURE)
+    scope = determinism_scope(ctx)
+    assert "fixpkg.serve.service" in scope
+    assert "fixpkg.serve" in scope
+    assert "fixpkg.serve.clock" not in scope
+    findings = DeterminismLintPass().run(ctx)
+    assert [(f.rule, f.path) for f in findings] == [
+        ("det-time", "src/fixpkg/serve/service.py")
+    ]
+
+
+def test_real_serve_package_scope_and_exemption():
+    from repro.statics.framework import Context
+
+    assert EXTRA_SCOPE_PACKAGES == ("repro.serve",)
+    assert EXTRA_SCOPE_EXEMPT == ("repro.serve.clock",)
+    scope = determinism_scope(Context.for_repo())
+    assert "repro.serve.service" in scope
+    assert "repro.serve.server" in scope
+    assert "repro.serve.hot" in scope
+    assert "repro.serve.clock" not in scope
+    # The experiment's declared salts stay in scope too.
+    assert "repro.serve.advisor" in scope
+    assert "repro.serve.protocol" in scope
